@@ -1,0 +1,60 @@
+"""Shared benchmark infrastructure.
+
+Every bench runs its experiment exactly once (``benchmark.pedantic``
+with one round — the experiments are deterministic simulations, so
+repetition adds nothing), renders the paper-shaped table, and registers
+it here; the tables are echoed into the terminal summary so the tee'd
+bench output contains every reproduced figure/table.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+_CACHE: dict[str, Any] = {}
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def register_report(title: str, text: str) -> None:
+    """Record a rendered table for the terminal summary + results dir."""
+    _REPORTS.append((title, text))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = title.lower().replace(" ", "-").replace("/", "-")
+    with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def cached(key: str, compute: Callable[[], Any]) -> Any:
+    """Memoize expensive comparisons shared between bench files
+    (e.g. the medium-cluster K-means used by both Figure 2 and 10)."""
+    if key not in _CACHE:
+        _CACHE[key] = compute()
+    return _CACHE[key]
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    box: dict[str, Any] = {}
+
+    def target():
+        box["result"] = fn()
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    return box["result"]
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture
+def report():
+    return register_report

@@ -1,0 +1,70 @@
+"""Ablation — centralized vs distributed merge (Section III-C).
+
+The paper notes that the key/value model representation "allows the
+merge function itself to execute in a distributed fashion as a MapReduce
+job".  For the large-model smoothing workload the single merge reducer
+is a genuine funnel (every sub-model streams to one node); distributing
+the merge spreads that traffic over the reduce fleet.  Results are
+bit-identical either way.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cached, run_once
+from repro.apps.smoothing import ImageSmoothingProgram, synthetic_image
+from repro.apps.smoothing.datagen import image_records
+from repro.cluster.presets import small_cluster
+from repro.pic.runner import PICRunner
+from repro.util.formatting import human_time, render_table
+
+SIDE = 256
+
+
+def merge_point(distributed: bool):
+    def compute():
+        img = synthetic_image(SIDE, SIDE, seed=13)
+        records = image_records(img)
+        prog = ImageSmoothingProgram(SIDE, SIDE)
+        model0 = prog.initial_model(records)
+        result = PICRunner(
+            small_cluster(), prog, num_partitions=12, seed=3,
+            distributed_merge=distributed,
+        ).run(records, initial_model=model0)
+        image = prog.image_array(result.model)
+        return result, image
+
+    return cached(f"ablation-merge-{distributed}", compute)
+
+
+def test_centralized_merge(benchmark):
+    result, _img = run_once(benchmark, lambda: merge_point(False))
+    assert result.be_iterations >= 1
+
+
+def test_distributed_merge(benchmark):
+    result, _img = run_once(benchmark, lambda: merge_point(True))
+    assert result.be_iterations >= 1
+
+
+def test_merge_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    central, img_c = merge_point(False)
+    distributed, img_d = merge_point(True)
+    table = render_table(
+        ["merge strategy", "best-effort time", "total time", "BE rounds"],
+        [
+            ["centralized (1 reducer)", human_time(central.be_time),
+             human_time(central.total_time), central.be_iterations],
+            ["distributed (MapReduce job)", human_time(distributed.be_time),
+             human_time(distributed.total_time), distributed.be_iterations],
+        ],
+        title=(
+            "Ablation — merge as a distributed MapReduce job "
+            "(image smoothing, model = whole image)"
+        ),
+    )
+    report("Ablation distributed merge", table)
+    # Same model either way; the distributed merge removes the
+    # single-reducer funnel so the best-effort phase is no slower.
+    assert np.allclose(img_c, img_d)
+    assert distributed.be_time <= central.be_time * 1.1

@@ -1,0 +1,68 @@
+"""Ablation — partition-count sweep (Section III-B's design discussion).
+
+"More sub-problems of smaller size can increase the number of best-effort
+iterations that the best-effort phase may require to converge."  We sweep
+the partition count for K-means on the small cluster and report
+best-effort rounds, local-iteration profile, speedup, and quality.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cached, run_once
+from repro.apps.kmeans import jagota_index
+from repro.harness import compare_ic_pic
+from repro.harness.workloads import kmeans_small
+from repro.util.formatting import render_table
+
+PARTITION_COUNTS = (6, 12, 24, 48)
+
+
+def sweep_point(num_partitions: int):
+    def compute():
+        w = kmeans_small(num_points=100_000, num_partitions=num_partitions)
+        result = compare_ic_pic(
+            w.cluster_factory, w.program, w.records, w.initial_model,
+            num_partitions,
+        )
+        points = np.stack([v for _k, v in w.records])
+        quality = jagota_index(points, w.program.centroid_array(result.pic.model))
+        return result, quality
+
+    return cached(f"ablation-partitions-{num_partitions}", compute)
+
+
+def test_partition_sweep(benchmark):
+    def run_all():
+        return [sweep_point(p) for p in PARTITION_COUNTS]
+
+    run_once(benchmark, run_all)
+
+
+def test_partition_sweep_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    be_rounds = []
+    for p in PARTITION_COUNTS:
+        result, quality = sweep_point(p)
+        be_rounds.append(result.pic.be_iterations)
+        rows.append(
+            [
+                p,
+                result.pic.be_iterations,
+                " ".join(
+                    str(x)
+                    for x in result.pic.best_effort.max_local_iterations_by_round
+                ),
+                f"{result.speedup:.2f}x",
+                f"{quality:.3f}",
+            ]
+        )
+    table = render_table(
+        ["partitions", "best-effort rounds", "(max) locals per round",
+         "speedup", "Jagota index"],
+        rows,
+        title="Ablation — partition count (K-means, 100k points, 6 nodes)",
+    )
+    report("Ablation partition count", table)
+    # Smaller partitions never *reduce* the best-effort round count.
+    assert be_rounds[-1] >= be_rounds[0]

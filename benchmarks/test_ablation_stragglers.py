@@ -1,0 +1,91 @@
+"""Ablation — stragglers and speculative execution.
+
+Not in the paper, but implied by its design: a best-effort round lasts
+as long as its *slowest* sub-problem, so PIC is more exposed to slow
+nodes than a conventional iteration (whose waves amortize stragglers
+across many short tasks).  Hadoop's speculative execution — which PIC
+inherits unchanged (Section VII) — recovers most of the loss by racing
+backups of straggler tasks on fast nodes.
+
+Setup: K-means on the 6-node cluster with one node running at 1/4
+speed; IC and PIC each measured with and without speculative execution.
+"""
+
+from benchmarks.conftest import cached, run_once
+from repro.apps.kmeans import KMeansProgram, gaussian_mixture
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import NodeSpec
+from repro.pic.runner import PICRunner, run_ic_baseline
+from repro.util.formatting import human_time, render_table
+
+SLOWDOWN = 4.0
+
+
+def slow_node_cluster():
+    specs = [
+        NodeSpec(
+            cores=8, map_slots=4, reduce_slots=4,
+            cpu_speed=(1.0 / SLOWDOWN) if i == 5 else 1.0,
+            ram_bytes=48 * 2**30,
+        )
+        for i in range(6)
+    ]
+    return Cluster(num_nodes=6, nodes_per_rack=6, node_specs=specs,
+                   name="small-6-hetero")
+
+
+def experiment():
+    def compute():
+        records, _ = gaussian_mixture(100_000, 10, dim=3, separation=6.0, seed=1)
+        prog = KMeansProgram(k=10, dim=3, threshold=0.1)
+        model0 = prog.initial_model(records, seed=2)
+        out = {}
+        for speculative in (False, True):
+            ic = run_ic_baseline(
+                slow_node_cluster(), prog, records,
+                initial_model={k: v.copy() for k, v in model0.items()},
+                speculative=speculative,
+            )
+            pic = PICRunner(
+                slow_node_cluster(), prog, num_partitions=24, seed=3,
+                speculative=speculative,
+            ).run(records, initial_model={k: v.copy() for k, v in model0.items()})
+            out[speculative] = (ic, pic)
+        return out
+
+    return cached("ablation-stragglers", compute)
+
+
+def test_stragglers(benchmark):
+    out = run_once(benchmark, experiment)
+    ic_plain, pic_plain = out[False]
+    ic_spec, pic_spec = out[True]
+    # Speculation never hurts, and it shortens PIC's straggler-bound
+    # best-effort rounds.
+    assert ic_spec.total_time <= ic_plain.total_time * 1.01
+    assert pic_spec.total_time < pic_plain.total_time
+
+
+def test_stragglers_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    out = experiment()
+    rows = []
+    for speculative in (False, True):
+        ic, pic = out[speculative]
+        rows.append(
+            [
+                "on" if speculative else "off",
+                human_time(ic.total_time),
+                human_time(pic.total_time),
+                f"{ic.total_time / pic.total_time:.2f}x",
+            ]
+        )
+    table = render_table(
+        ["speculative execution", "IC time", "PIC time", "PIC speedup"],
+        rows,
+        title=(
+            "Ablation — stragglers (one node at 1/4 speed, K-means, "
+            "6-node cluster): speculation restores PIC's edge"
+        ),
+    )
+    report("Ablation stragglers", table)

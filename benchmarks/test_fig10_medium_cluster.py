@@ -1,0 +1,85 @@
+"""Figure 10 — Performance of PIC vs baseline IC on the medium (64-node)
+cluster: K-means, neural-network training, and image smoothing.
+
+Paper result: PIC outperforms the baseline by 2.5x-4x.  The K-means bar
+shares the Figure 2 run (same workload, memoized); the neural network
+and smoothing runs are this bench's own.
+"""
+
+from benchmarks.conftest import cached, run_once
+from benchmarks.test_fig02_kmeans_breakdown import comparison as kmeans_comparison
+from repro.harness import compare_ic_pic
+from repro.harness.workloads import neuralnet_medium, smoothing_medium
+from repro.util.formatting import human_time, render_table
+
+
+def neuralnet_comparison():
+    def compute():
+        w = neuralnet_medium()
+        result = compare_ic_pic(
+            w.cluster_factory, w.program, w.records, w.initial_model,
+            w.num_partitions,
+        )
+        err_ic = w.program.validation_error(
+            result.ic.model, w.extras["Xv"], w.extras["yv"]
+        )
+        err_pic = w.program.validation_error(
+            result.pic.model, w.extras["Xv"], w.extras["yv"]
+        )
+        return result, err_ic, err_pic
+
+    return cached("fig10-neuralnet", compute)
+
+
+def smoothing_comparison():
+    def compute():
+        w = smoothing_medium()
+        return compare_ic_pic(
+            w.cluster_factory, w.program, w.records, w.initial_model,
+            w.num_partitions,
+        )
+
+    return cached("fig10-smoothing", compute)
+
+
+def test_fig10_neuralnet(benchmark):
+    result, err_ic, err_pic = run_once(benchmark, neuralnet_comparison)
+    assert result.speedup > 1.8
+    # PIC's model must be as good as the baseline's (Fig 12(a) story).
+    assert err_pic <= err_ic + 0.02
+
+
+def test_fig10_smoothing(benchmark):
+    result = run_once(benchmark, smoothing_comparison)
+    assert 1.8 < result.speedup < 6.0
+
+
+def test_fig10_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    nn_result, err_ic, err_pic = neuralnet_comparison()
+    rows = []
+    for name, result in (
+        ("K-means", kmeans_comparison()),
+        ("Neural net", nn_result),
+        ("Image smoothing", smoothing_comparison()),
+    ):
+        rows.append(
+            [
+                name,
+                human_time(result.ic_time),
+                human_time(result.pic_time),
+                f"{result.speedup:.2f}x",
+            ]
+        )
+    table = render_table(
+        ["application", "IC time", "PIC time", "speedup"],
+        rows,
+        title="Figure 10 — medium (64-node) cluster, paper band: 2.5x-4x",
+    )
+    table += (
+        f"\nneural net validation error: IC {err_ic:.3f} vs PIC {err_pic:.3f}"
+        "\nnote: the K-means row is timing-limited by dataset scale on this"
+        "\ncluster (see EXPERIMENTS.md); its paper-ratio timing appears in"
+        "\nFigure 9 / Figure 2(left), its traffic panel in Figure 2(right)."
+    )
+    report("Figure 10 medium cluster", table)

@@ -1,0 +1,72 @@
+"""Figure 11 — Strong scalability of the PIC speedup for image smoothing.
+
+Paper result: with the dataset fixed and the cluster scaled from 64 to
+256 nodes, the PIC-over-IC speedup is maintained (~2.8-3.3x across the
+sweep) — "the PIC library does not have any negative impact on the
+scalability of Hadoop".
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cached, run_once
+from repro.harness import compare_ic_pic
+from repro.harness.workloads import smoothing_large
+from repro.util.formatting import human_time, render_table
+
+NODE_COUNTS = (64, 128, 192, 256)
+
+
+def scaling_point(num_nodes: int):
+    def compute():
+        w = smoothing_large(num_nodes)
+        return compare_ic_pic(
+            w.cluster_factory, w.program, w.records, w.initial_model,
+            w.num_partitions,
+        )
+
+    return cached(f"fig11-{num_nodes}", compute)
+
+
+def test_fig11_64(benchmark):
+    assert run_once(benchmark, lambda: scaling_point(64)).speedup > 1.5
+
+
+def test_fig11_128(benchmark):
+    assert run_once(benchmark, lambda: scaling_point(128)).speedup > 1.5
+
+
+def test_fig11_192(benchmark):
+    assert run_once(benchmark, lambda: scaling_point(192)).speedup > 1.5
+
+
+def test_fig11_256(benchmark):
+    assert run_once(benchmark, lambda: scaling_point(256)).speedup > 1.5
+
+
+def test_fig11_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    speedups = []
+    for nodes in NODE_COUNTS:
+        result = scaling_point(nodes)
+        speedups.append(result.speedup)
+        rows.append(
+            [
+                nodes,
+                human_time(result.ic_time),
+                human_time(result.pic_time),
+                f"{result.speedup:.2f}x",
+            ]
+        )
+    table = render_table(
+        ["nodes", "IC time", "PIC time", "speedup"],
+        rows,
+        title=(
+            "Figure 11 — strong scaling, image smoothing (fixed 1024x1024 "
+            "image), paper: speedup maintained to 256 nodes"
+        ),
+    )
+    report("Figure 11 strong scaling", table)
+    # The paper's claim: the speedup is *maintained* as nodes grow.
+    assert max(speedups) / min(speedups) < 2.5
+    assert min(speedups) > 1.5

@@ -1,0 +1,82 @@
+"""Table I — Iterations required for IC and the best-effort phase of PIC
+(K-means) as the dataset grows.
+
+Paper result (0.5M/5M/50M/500M points): the IC iteration count stays
+~31-32 across sizes; the number of best-effort iterations *falls* as the
+data grows (5 -> 4 -> 3 -> 3); and except for the first best-effort
+iteration, only 2-3 local iterations are needed in any round
+("34 3 3 2 2" -> "33 2 2").
+
+We reproduce the same size-ladder shape at scaled sizes: a roughly
+size-independent IC count, shrinking best-effort rounds with size, and a
+first-round-heavy local iteration profile.
+"""
+
+from benchmarks.conftest import cached, run_once
+from repro.harness import compare_ic_pic
+from repro.harness.workloads import kmeans_table1, kmeans_table1_sizes
+from repro.util.formatting import render_table
+
+
+def row(num_points: int):
+    def compute():
+        w = kmeans_table1(num_points)
+        return compare_ic_pic(
+            w.cluster_factory, w.program, w.records, w.initial_model,
+            w.num_partitions,
+        )
+
+    return cached(f"table1-{num_points}", compute)
+
+
+def test_table1_smallest(benchmark):
+    run_once(benchmark, lambda: row(kmeans_table1_sizes()[0]))
+
+
+def test_table1_small(benchmark):
+    run_once(benchmark, lambda: row(kmeans_table1_sizes()[1]))
+
+
+def test_table1_medium(benchmark):
+    run_once(benchmark, lambda: row(kmeans_table1_sizes()[2]))
+
+
+def test_table1_large(benchmark):
+    run_once(benchmark, lambda: row(kmeans_table1_sizes()[3]))
+
+
+def test_table1_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sizes = kmeans_table1_sizes()
+    rows = []
+    be_counts = []
+    for size in sizes:
+        result = row(size)
+        locals_by_round = result.pic.best_effort.max_local_iterations_by_round
+        be_counts.append(result.pic.be_iterations)
+        rows.append(
+            [
+                f"{size:,}",
+                result.ic.iterations,
+                result.pic.be_iterations,
+                " ".join(str(x) for x in locals_by_round),
+                result.pic.topoff_iterations,
+            ]
+        )
+    table = render_table(
+        ["dataset size", "IC iterations", "best-effort iterations",
+         "(max) local iterations per round", "top-off iterations"],
+        rows,
+        title="Table I — iterations for IC and PIC best-effort (K-means)",
+    )
+    report("Table I iterations", table)
+
+    # Shape assertions mirroring the paper's observations.
+    largest = row(sizes[-1])
+    locals_by_round = largest.pic.best_effort.max_local_iterations_by_round
+    # The first best-effort round does the bulk of the local work...
+    assert locals_by_round[0] >= 2 * max(locals_by_round[1:] or [1])
+    # ...and later rounds need only a few local iterations.
+    assert all(x <= 8 for x in locals_by_round[1:])
+    # Best-effort rounds do not grow with dataset size (paper: they fall).
+    assert be_counts[-1] <= be_counts[0]

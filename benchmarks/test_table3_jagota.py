@@ -1,0 +1,70 @@
+"""Table III — Quality of PIC's best-effort phase in terms of the Jagota
+index (K-means).
+
+Paper result: the best-effort model's Jagota index is within 0.14% /
+2.75% of the conventional IC model's on its two datasets — "the
+best-effort phase of PIC is able to produce a solution that is within 3%
+of the quality of the baseline IC implementation".
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cached, run_once
+from repro.harness.workloads import kmeans_table3
+from repro.pic.engine import BestEffortEngine
+from repro.pic.runner import run_ic_baseline
+from repro.util.formatting import render_table
+from repro.apps.kmeans import jagota_index
+
+
+def dataset_row(dataset: int):
+    def compute():
+        w = kmeans_table3(dataset)
+        prog = w.program
+        points = np.stack([v for _k, v in w.records])
+
+        ic = run_ic_baseline(
+            w.cluster_factory(), prog, w.records,
+            initial_model={k: v.copy() for k, v in w.initial_model.items()},
+        )
+        engine = BestEffortEngine(
+            w.cluster_factory(), prog, num_partitions=w.num_partitions, seed=3,
+        )
+        be = engine.run(
+            w.records, {k: v.copy() for k, v in w.initial_model.items()}
+        )
+        q_ic = jagota_index(points, prog.centroid_array(ic.model))
+        q_be = jagota_index(points, prog.centroid_array(be.model))
+        return q_ic, q_be
+
+    return cached(f"table3-ds{dataset}", compute)
+
+
+def test_table3_dataset1(benchmark):
+    q_ic, q_be = run_once(benchmark, lambda: dataset_row(1))
+    assert abs(q_be - q_ic) / q_ic < 0.03
+
+
+def test_table3_dataset2(benchmark):
+    q_ic, q_be = run_once(benchmark, lambda: dataset_row(2))
+    assert abs(q_be - q_ic) / q_ic < 0.03
+
+
+def test_table3_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for ds in (1, 2):
+        q_ic, q_be = dataset_row(ds)
+        diff = abs(q_be - q_ic) / q_ic * 100
+        rows.append(
+            [f"dataset {ds}", f"{q_ic:.3f}", f"{q_be:.3f}", f"{diff:.2f}%"]
+        )
+    table = render_table(
+        ["dataset", "IC K-means", "PIC BE-phase K-means", "difference"],
+        rows,
+        title=(
+            "Table III — Jagota index of the best-effort model "
+            "(paper: 0.14% and 2.75%, both < 3%)"
+        ),
+    )
+    report("Table III jagota index", table)

@@ -1,0 +1,63 @@
+"""Choosing a partitioning before running anything (Section VI-B applied).
+
+The advisor turns the paper's analysis into predictions: for a linear
+problem it computes the exact per-best-effort-round contraction
+ρ(I − B⁻¹A) for each candidate partition count; for a graph it compares
+the partitioners' cross-edge fractions.  The linear predictions are then
+checked against the engine's measured best-effort rounds.
+
+    python examples/partition_advisor.py
+"""
+
+from repro.analysis import advise_graph, advise_linear
+from repro.apps.linsolve import LinearSolverProgram, diagonally_dominant_system
+from repro.apps.linsolve.datagen import system_records
+from repro.apps.pagerank import local_web_graph
+from repro.cluster.presets import small_cluster
+from repro.pic.engine import BestEffortEngine
+from repro.util.formatting import render_table
+
+
+def main() -> None:
+    # --- linear problem: predicted vs measured best-effort rounds -----
+    A, b, _x = diagonally_dominant_system(120, bandwidth=2, dominance=1.1, seed=7)
+    records = system_records(A, b)
+    candidates = [2, 4, 6, 12]
+    rows = []
+    for advice in advise_linear(A, candidates, tolerance=1e-6):
+        program = LinearSolverProgram(threshold=1e-6, overlap=0)
+        engine = BestEffortEngine(
+            small_cluster(), program,
+            num_partitions=advice.num_partitions, be_max_iterations=200,
+        )
+        measured = engine.run(records, program.initial_model(records))
+        rows.append([
+            advice.num_partitions,
+            f"{advice.epsilon:.3f}",
+            f"{advice.rho_per_round:.3f}",
+            advice.predicted_be_rounds,
+            measured.be_iterations,
+        ])
+    print(render_table(
+        ["partitions", "epsilon", "rho per round",
+         "predicted BE rounds", "measured BE rounds"],
+        rows,
+        title="Linear solver: Section VI-B predictions vs the engine",
+    ))
+
+    # --- graph problem: which partitioner to use ----------------------
+    graph = local_web_graph(5000, seed=5)
+    rows = [
+        [a.partitioner, f"{a.epsilon:.3f}"]
+        for a in advise_graph(graph, 18, seed=3)
+    ]
+    print()
+    print(render_table(
+        ["partitioner", "cross-edge fraction"],
+        rows,
+        title="PageRank web graph: partitioner comparison (lower is better)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

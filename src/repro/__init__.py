@@ -1,0 +1,50 @@
+"""Reproduction of *PIC: Partitioned Iterative Convergence for Clusters*.
+
+Farivar, Raghunathan, Chakradhar, Kharbanda, Campbell — IEEE CLUSTER 2012.
+
+The package is organised bottom-up:
+
+``repro.util``
+    Small shared helpers: RNG discipline, byte sizing, formatting.
+``repro.cluster``
+    A deterministic discrete-event cluster simulator: nodes, racks, a
+    two-tier network with flow-level max-min fair bandwidth sharing, and
+    per-category traffic accounting.  This substitutes for the paper's
+    physical 6/64/256-node Hadoop clusters.
+``repro.dfs``
+    An HDFS-like replicated block store on top of the cluster.
+``repro.mapreduce``
+    A MapReduce engine (jobs, splits, combiners, locality-aware slot
+    scheduling, shuffle, counters) whose mappers/reducers are *real*
+    Python functions run on *real* data; only time is simulated.
+``repro.pic``
+    The paper's contribution: the PIC programming API (Figure 4), the
+    best-effort and top-off phase engines, default partitioners and
+    mergers.
+``repro.apps``
+    The five evaluation applications in both conventional-IC and PIC
+    form: K-means, PageRank, neural-network training, a linear-equation
+    solver, and image smoothing.
+``repro.analysis``
+    The "nearly uncoupled" coupling analysis and convergence-rate
+    machinery of Section VI-B.
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro.cluster` usable without pulling
+    # in the whole stack, while `repro.PICProgram` still works.
+    if name in {"PICProgram", "PICRunner", "PICResult"}:
+        from repro.pic import api, runner
+
+        return {
+            "PICProgram": api.PICProgram,
+            "PICRunner": runner.PICRunner,
+            "PICResult": runner.PICResult,
+        }[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["PICProgram", "PICRunner", "PICResult", "__version__"]

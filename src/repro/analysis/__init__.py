@@ -1,0 +1,52 @@
+"""Analytical machinery of Section VI-B.
+
+* :mod:`repro.analysis.coupling` — measuring how "nearly uncoupled" a
+  problem is under a partitioning (the ε blocks of Figure 13);
+* :mod:`repro.analysis.rates` — contraction/spectral-radius tools and
+  the best-effort convergence-rate scaling factor (ω·β/α)^((k−1)/k);
+* :mod:`repro.analysis.schwarz` — the additive-Schwarz reading of the
+  best-effort phase for linear iterations (block-Jacobi preconditioner
+  construction and its convergence factor).
+"""
+
+from repro.analysis.coupling import (
+    contiguous_assignment,
+    coupling_matrix,
+    coupling_epsilon,
+    block_structure_report,
+)
+from repro.analysis.rates import (
+    spectral_radius,
+    contraction_factor,
+    best_effort_rate_scaling,
+    iterations_to_tolerance,
+)
+from repro.analysis.schwarz import (
+    block_jacobi_preconditioner,
+    schwarz_iteration_matrix,
+    schwarz_convergence_factor,
+)
+from repro.analysis.advisor import (
+    LinearAdvice,
+    GraphAdvice,
+    advise_linear,
+    advise_graph,
+)
+
+__all__ = [
+    "contiguous_assignment",
+    "coupling_matrix",
+    "coupling_epsilon",
+    "block_structure_report",
+    "spectral_radius",
+    "contraction_factor",
+    "best_effort_rate_scaling",
+    "iterations_to_tolerance",
+    "block_jacobi_preconditioner",
+    "schwarz_iteration_matrix",
+    "schwarz_convergence_factor",
+    "LinearAdvice",
+    "GraphAdvice",
+    "advise_linear",
+    "advise_graph",
+]

@@ -1,0 +1,123 @@
+"""Measuring the "nearly uncoupled" structure of Figure 13.
+
+Given a dependency matrix A (who reads whom) and a partition assignment,
+the diagonal blocks hold the intra-partition coupling and the
+off-diagonal blocks the ε_ij cross-coupling.  PIC is effective exactly
+when the off-block mass is small relative to the in-block mass — this
+module quantifies that, and the Figure 13 ablation bench correlates it
+with measured best-effort behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def contiguous_assignment(n: int, num_partitions: int) -> np.ndarray:
+    """Near-even contiguous partition assignment for n unknowns."""
+    if n < 1 or num_partitions < 1:
+        raise ValueError("n and num_partitions must be >= 1")
+    bounds = [round(p * n / num_partitions) for p in range(num_partitions + 1)]
+    out = np.empty(n, dtype=int)
+    for p in range(num_partitions):
+        out[bounds[p] : bounds[p + 1]] = p
+    return out
+
+
+def coupling_matrix(
+    A: np.ndarray, assignment: np.ndarray, num_partitions: int
+) -> np.ndarray:
+    """P×P matrix of absolute coupling mass between partitions.
+
+    Entry (p, q) is Σ |A_ij| over i∈p, j∈q.  The diagonal holds
+    intra-partition coupling (excluding each row's own diagonal entry,
+    which is scaling, not coupling).
+    """
+    A = np.asarray(A, dtype=float)
+    n = A.shape[0]
+    if A.shape != (n, n):
+        raise ValueError(f"A must be square, got {A.shape}")
+    assignment = np.asarray(assignment)
+    if assignment.shape != (n,):
+        raise ValueError(
+            f"assignment must have one entry per row, got {assignment.shape}"
+        )
+    if assignment.min() < 0 or assignment.max() >= num_partitions:
+        raise ValueError("assignment values out of range")
+    mass = np.abs(A).copy()
+    np.fill_diagonal(mass, 0.0)
+    out = np.zeros((num_partitions, num_partitions))
+    for p in range(num_partitions):
+        rows = assignment == p
+        for q in range(num_partitions):
+            cols = assignment == q
+            out[p, q] = mass[np.ix_(rows, cols)].sum()
+    return out
+
+
+def coupling_epsilon(
+    A: np.ndarray, assignment: np.ndarray, num_partitions: int
+) -> float:
+    """The scalar ε: off-block coupling mass / total coupling mass.
+
+    0 means perfectly decoupled sub-problems (PIC's best-effort phase is
+    exact); values approaching 1 mean the partitioning ignores most of
+    the dependency structure.
+    """
+    C = coupling_matrix(A, assignment, num_partitions)
+    total = C.sum()
+    if total == 0:
+        return 0.0
+    off = total - np.trace(C)
+    return float(off / total)
+
+
+@dataclass
+class BlockStructureReport:
+    """Summary of a partitioned dependency structure."""
+
+    epsilon: float
+    block_masses: np.ndarray
+    worst_pair: tuple[int, int]
+    worst_pair_mass: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"epsilon={self.epsilon:.4f}, worst cross pair "
+            f"{self.worst_pair} carries {self.worst_pair_mass:.3g}"
+        )
+
+
+def block_structure_report(
+    A: np.ndarray, assignment: np.ndarray, num_partitions: int
+) -> BlockStructureReport:
+    """Full Figure 13-style structure summary."""
+    C = coupling_matrix(A, assignment, num_partitions)
+    off = C.copy()
+    np.fill_diagonal(off, 0.0)
+    idx = np.unravel_index(np.argmax(off), off.shape)
+    total = C.sum()
+    eps = float((total - np.trace(C)) / total) if total else 0.0
+    return BlockStructureReport(
+        epsilon=eps,
+        block_masses=C,
+        worst_pair=(int(idx[0]), int(idx[1])),
+        worst_pair_mass=float(off[idx]),
+    )
+
+
+def graph_coupling_epsilon(
+    records: list[tuple[int, tuple[int, ...]]], assignment: dict[int, int]
+) -> float:
+    """ε for a graph given as adjacency records (PageRank's input)."""
+    total = 0
+    cross = 0
+    for v, outs in records:
+        pv = assignment[v]
+        for t in outs:
+            total += 1
+            if assignment[t] != pv:
+                cross += 1
+    return cross / total if total else 0.0

@@ -1,0 +1,80 @@
+"""Convergence-rate tools (Section VI-B).
+
+The paper states (citing its companion report [12]) that the best-effort
+phase's convergence rate relates to the baseline's through the scaling
+factor
+
+    (ω · β/α)^((k−1)/k)
+
+where β/α is the ratio of the longest partitioned input vector to the
+unpartitioned vector's length, ω measures the converging power of the
+iterative map (from the local-stability condition), and k is the number
+of local iterations per best-effort round.  More partitions ⇒ slower
+per-round convergence, traded against cheaper, traffic-free local
+iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spectral_radius(M: np.ndarray) -> float:
+    """ρ(M): the asymptotic per-iteration contraction of x ← Mx + c."""
+    M = np.asarray(M, dtype=float)
+    if M.ndim != 2 or M.shape[0] != M.shape[1]:
+        raise ValueError(f"M must be square, got {M.shape}")
+    return float(np.max(np.abs(np.linalg.eigvals(M))))
+
+
+def contraction_factor(trace: list[float], tail: int = 5) -> float:
+    """Empirical per-iteration contraction from a change/error trace.
+
+    The geometric mean ratio over the last ``tail`` steps; values ≥ 1
+    mean the iteration is not (yet) contracting.
+    """
+    if len(trace) < 2:
+        raise ValueError("need at least two trace points")
+    tail = min(tail, len(trace) - 1)
+    ratios = []
+    for a, b in zip(trace[-tail - 1 : -1], trace[-tail:]):
+        if a > 0:
+            ratios.append(b / a)
+    if not ratios:
+        return 0.0
+    return float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-300)))))
+
+
+def best_effort_rate_scaling(
+    omega: float, beta_over_alpha: float, local_iterations: int
+) -> float:
+    """The paper's (ω·β/α)^((k−1)/k) factor.
+
+    ``beta_over_alpha`` is the max partitioned-vector length over the
+    unpartitioned length (≤ 1; smaller with more partitions), ``omega``
+    the converging power of the iterative map, and ``local_iterations``
+    the k local iterations each best-effort round performs.
+    """
+    if omega <= 0:
+        raise ValueError(f"omega must be positive, got {omega}")
+    if not 0 < beta_over_alpha <= 1:
+        raise ValueError(
+            f"beta/alpha must be in (0, 1], got {beta_over_alpha}"
+        )
+    if local_iterations < 1:
+        raise ValueError(f"local_iterations must be >= 1, got {local_iterations}")
+    k = local_iterations
+    return float((omega * beta_over_alpha) ** ((k - 1) / k))
+
+
+def iterations_to_tolerance(rho: float, initial_error: float, tolerance: float) -> int:
+    """Iterations a ρ-contraction needs to bring the error to tolerance."""
+    if not 0 < rho < 1:
+        raise ValueError(f"rho must be in (0, 1), got {rho}")
+    if initial_error <= 0 or tolerance <= 0:
+        raise ValueError("errors must be positive")
+    if tolerance >= initial_error:
+        return 0
+    import math
+
+    return int(math.ceil(math.log(tolerance / initial_error) / math.log(rho)))

@@ -1,0 +1,15 @@
+"""The paper's five evaluation applications, each in IC and PIC form.
+
+* :mod:`repro.apps.kmeans` — K-means clustering (Figures 1(b)/6);
+* :mod:`repro.apps.pagerank` — PageRank with the Nutch two-phase
+  aggregation/propagation formulation (Figures 7/8);
+* :mod:`repro.apps.neuralnet` — neural-network training with
+  backpropagation on OCR-style data;
+* :mod:`repro.apps.linsolve` — Jacobi solver for weakly diagonally
+  dominant linear systems;
+* :mod:`repro.apps.smoothing` — stencil-based image smoothing.
+
+Each package provides a data generator, a vectorized serial reference,
+the :class:`~repro.pic.api.PICProgram` subclass (usable both as the
+conventional IC implementation and under PIC), and quality metrics.
+"""

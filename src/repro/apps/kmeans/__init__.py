@@ -1,0 +1,19 @@
+"""K-means clustering — the paper's primary case study (Section IV-A)."""
+
+from repro.apps.kmeans.datagen import gaussian_mixture
+from repro.apps.kmeans.program import KMeansProgram
+from repro.apps.kmeans.serial import lloyd
+from repro.apps.kmeans.quality import (
+    jagota_index,
+    match_centroids,
+    centroid_displacement,
+)
+
+__all__ = [
+    "gaussian_mixture",
+    "KMeansProgram",
+    "lloyd",
+    "jagota_index",
+    "match_centroids",
+    "centroid_displacement",
+]

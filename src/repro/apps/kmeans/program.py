@@ -1,0 +1,141 @@
+"""K-means as a PIC program (paper Figures 1(b) and 6).
+
+Conventional IC realisation:
+
+* **map** — associate each point with its closest centroid, emitting
+  ``(centroid_id, (point_vector, 1))`` per point (the per-point mapper
+  output is the intermediate-data volume Table II measures);
+* **combine** — sum vectors and counts locally (the paper's baselines
+  "utilize combiner optimizations");
+* **reduce** — new centroid = summed vector / count;
+* **converged** — every centroid moved less than a threshold.
+
+PIC extras (Figure 6 / Section IV-A): random data partitioning with a
+copy of the model per sub-problem, correspondence-by-key averaging as
+the merge, and the *same* convergence criterion for local, best-effort,
+and top-off loops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.apps.kmeans.serial import assign_points
+from repro.mapreduce.costs import CostHints
+from repro.mapreduce.job import TaskContext
+from repro.pic.api import PICProgram
+from repro.pic.convergence import kv_model_max_change
+from repro.util.rng import SeedLike, as_generator
+
+
+class KMeansProgram(PICProgram):
+    """K-means clustering for the PIC framework.
+
+    The model is ``{centroid_id: coordinate_vector}``.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        dim: int = 3,
+        threshold: float = 1e-3,
+        num_reducers: int = 8,
+        max_iterations: int = 300,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.k = k
+        self.dim = dim
+        self.threshold = threshold
+        self.num_reducers = num_reducers
+        self.max_iterations = max_iterations
+        self.name = "kmeans"
+        # Distance computation dominates: ~k*dim multiply-adds per point,
+        # at Hadoop-era Java throughput.
+        self.costs = CostHints(
+            map_seconds_per_record=1e-6 + 2.5e-8 * k * dim,
+            reduce_seconds_per_record=1e-6,
+        )
+
+    # -- conventional IC pieces -----------------------------------------
+
+    def initial_model(
+        self, records: Sequence[tuple[Any, Any]], seed: SeedLike = 0
+    ) -> dict[int, np.ndarray]:
+        """Forgy initialisation from the input records."""
+        rng = as_generator(seed)
+        if len(records) < self.k:
+            raise ValueError(f"need at least k={self.k} points")
+        idx = rng.choice(len(records), size=self.k, replace=False)
+        return {int(c): np.array(records[int(i)][1], dtype=float) for c, i in enumerate(idx)}
+
+    def batch_map(self, ctx: TaskContext, records: Sequence[tuple[Any, Any]]) -> None:
+        """Vectorized nearest-centroid assignment for a whole split."""
+        if not records:
+            return
+        model: dict[int, np.ndarray] = ctx.model
+        centroid_ids = sorted(model)
+        centroids = np.stack([model[c] for c in centroid_ids])
+        points = np.stack([np.asarray(v, dtype=float) for _k, v in records])
+        assignment = assign_points(points, centroids)
+        emit = ctx.emit
+        for row, a in enumerate(assignment):
+            emit(centroid_ids[int(a)], (points[row], 1))
+
+    def combine(self, key: Any, values: list[Any]) -> Any:
+        """Sum (vector, count) pairs locally before the shuffle."""
+        total = np.zeros(self.dim)
+        count = 0
+        for vec, n in values:
+            total += vec
+            count += n
+        return (total, count)
+
+    def reduce(self, ctx: TaskContext, key: Any, values: list[Any]) -> None:
+        """New centroid = summed vectors / summed counts (Figure 1(b))."""
+        total = np.zeros(self.dim)
+        count = 0
+        for vec, n in values:
+            total += vec
+            count += n
+        if count > 0:
+            ctx.emit(key, total / count)
+
+    def build_model(
+        self, model: dict[int, np.ndarray], output: list[tuple[Any, Any]]
+    ) -> dict[int, np.ndarray]:
+        """New centroids; clusters that received no points keep theirs."""
+        new_model = dict(model)
+        for key, centroid in output:
+            new_model[key] = np.asarray(centroid, dtype=float)
+        return new_model
+
+    def converged(self, previous: Any, current: Any, iteration: int) -> bool:
+        """All centroids moved less than the threshold (Figure 1(b))."""
+        if iteration + 1 >= self.max_iterations:
+            return True
+        return kv_model_max_change(previous, current) < self.threshold
+
+    # -- PIC extras -------------------------------------------------------
+    # partition: library default (random data partition + model copies),
+    # exactly the paper's choice for K-means.
+    # merge: library default (average corresponding centroids by key).
+    # be_converged: library default (the same criterion), per Section IV-A.
+
+    def merge_element(self, key: Any, values: list[Any]) -> Any:
+        """Average corresponding centroid values (distributed merge)."""
+        return np.mean(np.stack([np.asarray(v, dtype=float) for v in values]), axis=0)
+
+    def local_max_iterations(self) -> int:
+        """Local loops share the conventional iteration cap."""
+        return self.max_iterations
+
+    def centroid_array(self, model: dict[int, np.ndarray]) -> np.ndarray:
+        """Model as a (k, dim) array in centroid-id order (for metrics)."""
+        return np.stack([model[c] for c in sorted(model)])

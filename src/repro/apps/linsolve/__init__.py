@@ -1,0 +1,12 @@
+"""Jacobi linear-equation solver (paper Sections IV/VI, Figure 12(c))."""
+
+from repro.apps.linsolve.datagen import diagonally_dominant_system
+from repro.apps.linsolve.serial import jacobi, jacobi_iteration_matrix
+from repro.apps.linsolve.program import LinearSolverProgram
+
+__all__ = [
+    "diagonally_dominant_system",
+    "jacobi",
+    "jacobi_iteration_matrix",
+    "LinearSolverProgram",
+]

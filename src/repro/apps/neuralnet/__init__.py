@@ -1,0 +1,14 @@
+"""Neural-network training with backpropagation (paper Section V, Fig 12a)."""
+
+from repro.apps.neuralnet.datagen import ocr_dataset
+from repro.apps.neuralnet.mlp import MLP, init_params, forward, loss_and_gradients
+from repro.apps.neuralnet.program import NeuralNetProgram
+
+__all__ = [
+    "ocr_dataset",
+    "MLP",
+    "init_params",
+    "forward",
+    "loss_and_gradients",
+    "NeuralNetProgram",
+]

@@ -1,0 +1,7 @@
+"""PageRank — the paper's second case study (Section IV-B)."""
+
+from repro.apps.pagerank.datagen import local_web_graph
+from repro.apps.pagerank.program import PageRankProgram
+from repro.apps.pagerank.serial import nutch_pagerank
+
+__all__ = ["local_web_graph", "PageRankProgram", "nutch_pagerank"]

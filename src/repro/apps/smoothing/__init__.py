@@ -1,0 +1,12 @@
+"""Stencil-based image smoothing (paper Sections IV/V, Figure 11)."""
+
+from repro.apps.smoothing.datagen import synthetic_image
+from repro.apps.smoothing.serial import smooth_reference, jacobi_smooth
+from repro.apps.smoothing.program import ImageSmoothingProgram
+
+__all__ = [
+    "synthetic_image",
+    "smooth_reference",
+    "jacobi_smooth",
+    "ImageSmoothingProgram",
+]

@@ -1,0 +1,52 @@
+"""Synthetic images for the smoothing workload.
+
+Substitutes for the paper's 40-megapixel photograph: a smooth gradient
+background with rectangles and disks (edges for the smoother to act on)
+plus Gaussian pixel noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+
+
+def synthetic_image(
+    height: int,
+    width: int,
+    num_shapes: int = 12,
+    noise: float = 0.1,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Return a float image in roughly [0, 1] with structure + noise."""
+    if height < 4 or width < 4:
+        raise ValueError(f"image must be at least 4x4, got {height}x{width}")
+    if noise < 0:
+        raise ValueError(f"noise must be non-negative, got {noise}")
+    rng = as_generator(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    img = 0.3 + 0.4 * (xx / width) + 0.2 * (yy / height)
+    for _ in range(num_shapes):
+        cy = rng.integers(0, height)
+        cx = rng.integers(0, width)
+        size = int(rng.integers(max(2, height // 16), max(3, height // 4)))
+        value = float(rng.uniform(0.0, 1.0))
+        if rng.random() < 0.5:
+            img[
+                max(0, cy - size // 2) : min(height, cy + size // 2),
+                max(0, cx - size // 2) : min(width, cx + size // 2),
+            ] = value
+        else:
+            mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= (size // 2) ** 2
+            img[mask] = value
+    img += rng.normal(0.0, noise, size=img.shape)
+    return img
+
+
+def image_records(image: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    """One record per row: ``(row_index, pixel_row)``."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    return [(int(i), image[i].copy()) for i in range(image.shape[0])]

@@ -1,0 +1,42 @@
+"""Deterministic discrete-event cluster simulator.
+
+This package substitutes for the paper's physical Hadoop clusters.  It
+provides:
+
+* :mod:`repro.cluster.events` — a cancellable-event discrete-event
+  simulation core (the simulated clock every other layer runs on);
+* :mod:`repro.cluster.topology` — nodes with task slots, racks, and a
+  two-tier (edge/core) network described as capacitated links;
+* :mod:`repro.cluster.flows` — a flow-level network model with max-min
+  fair bandwidth sharing (progressive filling), which turns "move N bytes
+  from node A to node B" into simulated elapsed time;
+* :mod:`repro.cluster.metrics` — per-category and per-tier byte
+  accounting (shuffle vs model updates vs DFS traffic, bisection bytes);
+* :mod:`repro.cluster.presets` — the paper's three testbeds: the 6-node
+  research cluster, the 64-node 6-rack production cluster, and the
+  256-node EMR-style virtual cluster.
+"""
+
+from repro.cluster.events import Simulation, Event
+from repro.cluster.topology import NodeSpec, Node, Topology, Link
+from repro.cluster.flows import FlowNetwork, Flow
+from repro.cluster.metrics import TrafficMeter, TrafficCategory
+from repro.cluster.cluster import Cluster
+from repro.cluster.presets import small_cluster, medium_cluster, large_cluster
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "NodeSpec",
+    "Node",
+    "Topology",
+    "Link",
+    "FlowNetwork",
+    "Flow",
+    "TrafficMeter",
+    "TrafficCategory",
+    "Cluster",
+    "small_cluster",
+    "medium_cluster",
+    "large_cluster",
+]

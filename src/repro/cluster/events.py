@@ -1,0 +1,111 @@
+"""Discrete-event simulation core.
+
+A :class:`Simulation` owns a virtual clock and a priority queue of
+:class:`Event` objects.  Events are callbacks scheduled at an absolute
+simulated time; ties are broken by insertion order so runs are fully
+deterministic.  Events can be cancelled (lazy deletion), which the
+flow-level network model relies on to re-plan the next flow completion
+whenever the set of active flows changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulation skips it when popped."""
+        self.cancelled = True
+
+
+class Simulation:
+    """A deterministic event loop with a simulated clock.
+
+    The clock only moves forward, and only via :meth:`run` /
+    :meth:`run_until`.  Layers above never sleep; they schedule
+    continuation callbacks.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the next live event.  Returns False when none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> None:
+        """Run until the queue drains (or ``max_events`` events executed)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"simulation did not quiesce within {max_events} events; "
+                    "likely an event livelock in a layer above"
+                )
+
+    def run_until(self, time: float) -> None:
+        """Run all events scheduled at or before ``time``, then set the clock."""
+        if time < self._now:
+            raise ValueError(f"cannot run backwards to t={time} from t={self._now}")
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > time:
+                break
+            self.step()
+        self._now = time

@@ -1,0 +1,78 @@
+"""Cluster presets matching the paper's three testbeds (Section V-A).
+
+* **small** — the 6-node research testbed: two quad-core E5520 Xeons per
+  node (8 physical cores), 48 GB RAM, Gigabit Ethernet, one rack, and
+  "24 map and 24 reduce task slots" in total (4 + 4 per node).
+* **medium** — the 64-node shared production cluster: two quad-core
+  E5430 Xeons, 16 GB RAM, 6 racks on Gigabit Ethernet, "330 map and 110
+  reduce task slots" (≈5 map + 2 reduce per node; we use exactly that,
+  giving 320/128 — the nearest per-node-uniform configuration).
+* **large** — up to 256 Amazon EMR extra-large instances: 15 GB RAM,
+  4 virtual cores (8 EC2 compute units), virtualised networking with
+  heavier oversubscription, racks of 16.
+
+CPU speeds are relative to the E5520 (2.27 GHz) reference = 1.0.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import GIGABIT, NodeSpec
+
+
+def small_cluster() -> Cluster:
+    """The paper's 6-node research testbed."""
+    spec = NodeSpec(
+        cores=8,
+        map_slots=4,
+        reduce_slots=4,
+        cpu_speed=1.0,
+        ram_bytes=48 * 2**30,
+    )
+    return Cluster(
+        num_nodes=6,
+        nodes_per_rack=6,
+        node_spec=spec,
+        edge_bandwidth=GIGABIT,
+        name="small-6",
+    )
+
+
+def medium_cluster() -> Cluster:
+    """The paper's 64-node, 6-rack shared production cluster."""
+    spec = NodeSpec(
+        cores=8,
+        map_slots=5,
+        reduce_slots=2,
+        cpu_speed=2.66 / 2.27,  # E5430 @2.66GHz vs E5520 reference
+        ram_bytes=16 * 2**30,
+    )
+    return Cluster(
+        num_nodes=64,
+        nodes_per_rack=11,  # 64 nodes over 6 racks
+        node_spec=spec,
+        edge_bandwidth=GIGABIT,
+        oversubscription=4.0,  # typical production-rack uplink ratio
+        name="medium-64",
+    )
+
+
+def large_cluster(num_nodes: int = 256) -> Cluster:
+    """EMR-style virtual cluster of ``num_nodes`` extra-large instances."""
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    spec = NodeSpec(
+        cores=4,
+        map_slots=4,
+        reduce_slots=4,
+        cpu_speed=1.0,
+        ram_bytes=15 * 2**30,
+    )
+    return Cluster(
+        num_nodes=num_nodes,
+        nodes_per_rack=16,
+        node_spec=spec,
+        edge_bandwidth=GIGABIT,
+        oversubscription=8.0,  # virtualised EC2-era networking
+        name=f"large-{num_nodes}",
+    )

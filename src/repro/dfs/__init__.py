@@ -1,0 +1,15 @@
+"""HDFS-like distributed file system on the simulated cluster.
+
+Files are split into fixed-size blocks; each block is replicated
+(default 3×) using the HDFS placement policy (first replica on the
+writer, second off-rack, third on the second's rack).  Writes are
+charged as replication *pipelines* on the flow network — this is exactly
+the "model is stored in the cluster file system with replicas" cost the
+paper identifies as the model-update bottleneck.  Reads pick the closest
+replica (local disk > same rack > cross rack).
+"""
+
+from repro.dfs.namenode import Namenode, FileMeta, BlockMeta
+from repro.dfs.dfs import DistributedFileSystem
+
+__all__ = ["DistributedFileSystem", "Namenode", "FileMeta", "BlockMeta"]

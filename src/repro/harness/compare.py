@@ -1,0 +1,77 @@
+"""Run the same workload through conventional IC and PIC, on fresh
+identical clusters, and package the paper-style comparison."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.mapreduce.driver import DriverResult
+from repro.pic.api import PICProgram
+from repro.pic.runner import PICResult, PICRunner, run_ic_baseline
+
+
+@dataclass
+class ComparisonResult:
+    """IC and PIC outcomes for one workload on one cluster size."""
+
+    ic: DriverResult
+    ic_traffic: dict[str, dict[str, float]]
+    pic: PICResult
+
+    @property
+    def speedup(self) -> float:
+        """Simulated IC makespan over simulated PIC makespan."""
+        return self.ic.total_time / self.pic.total_time
+
+    @property
+    def ic_time(self) -> float:
+        """Simulated IC makespan."""
+        return self.ic.total_time
+
+    @property
+    def pic_time(self) -> float:
+        """Simulated PIC makespan (both phases)."""
+        return self.pic.total_time
+
+    def traffic_row(self, category: str) -> tuple[float, float]:
+        """(IC bytes, PIC bytes) for one traffic category."""
+        ic = self.ic_traffic.get(category, {}).get("total_bytes", 0.0)
+        pic = self.pic.traffic.get(category, {}).get("total_bytes", 0.0)
+        return ic, pic
+
+
+def compare_ic_pic(
+    cluster_factory: Callable[[], Cluster],
+    program: PICProgram,
+    records: Sequence[tuple[Any, Any]],
+    initial_model: Any,
+    num_partitions: int,
+    seed: Any = 3,
+    max_iterations: int = 200,
+    be_max_iterations: int = 30,
+) -> ComparisonResult:
+    """Run IC then PIC from the *same* initial model on fresh clusters."""
+    ic_cluster = cluster_factory()
+    ic = run_ic_baseline(
+        ic_cluster,
+        program,
+        records,
+        initial_model=copy.deepcopy(initial_model),
+        max_iterations=max_iterations,
+    )
+    pic_cluster = cluster_factory()
+    runner = PICRunner(
+        pic_cluster,
+        program,
+        num_partitions=num_partitions,
+        seed=seed,
+        be_max_iterations=be_max_iterations,
+        max_iterations=max_iterations,
+    )
+    pic = runner.run(records, initial_model=copy.deepcopy(initial_model))
+    return ComparisonResult(
+        ic=ic, ic_traffic=ic_cluster.meter.snapshot(), pic=pic
+    )

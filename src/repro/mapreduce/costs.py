@@ -1,0 +1,100 @@
+"""Compute-time cost hints for simulated tasks.
+
+Byte volumes in this reproduction are measured; compute time is modeled.
+Each application supplies a :class:`CostHints` calibrated to the
+relative weight of its per-record map and reduce work (a distance
+computation per point for K-means, an edge-score update for PageRank,
+a forward+backward pass for the neural network, ...).  Costs are
+expressed at the reference CPU (the small cluster's E5520 = speed 1.0)
+and scaled by each node's ``cpu_speed``.
+
+Defaults approximate Hadoop-era Java record processing; the exact
+constants shift absolute runtimes, not who wins — both IC and PIC
+execute the same mapper/reducer records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostHints:
+    """Per-task compute-time coefficients (seconds, at reference CPU)."""
+
+    map_seconds_per_record: float = 2e-6
+    map_seconds_per_byte: float = 0.0
+    reduce_seconds_per_record: float = 1e-6
+    sort_seconds_per_record: float = 5e-7
+    task_overhead_seconds: float = 0.2
+    job_overhead_seconds: float = 3.0
+    # Pure-compute cost per record when the same computation runs *in
+    # memory* instead of through the MapReduce record pipeline
+    # (read/deserialize/map/serialize/sort/spill).  PIC's best-effort map
+    # tasks run local iterations in memory, so they pay this instead of
+    # map_seconds_per_record.  The default ratio of 0.1 is what the
+    # paper's own measurements imply: with its Table I iteration counts
+    # (31 IC iterations; local iterations 34,3,2 over 3 best-effort
+    # rounds; ~5 top-off iterations) a 3x overall speedup requires the
+    # in-memory pass to cost ~10% of a Hadoop record-pipeline pass —
+    # consistent with the 10-100x per-record gaps reported for
+    # in-memory frameworks of that era.  An ablation bench sweeps it.
+    inmemory_seconds_per_record: float | None = None
+
+    DEFAULT_INMEMORY_RATIO = 0.1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "map_seconds_per_record",
+            "map_seconds_per_byte",
+            "reduce_seconds_per_record",
+            "sort_seconds_per_record",
+            "task_overhead_seconds",
+            "job_overhead_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.inmemory_seconds_per_record is not None:
+            if self.inmemory_seconds_per_record < 0:
+                raise ValueError("inmemory_seconds_per_record must be non-negative")
+
+    @property
+    def inmemory_per_record(self) -> float:
+        """Effective in-memory per-record compute cost."""
+        if self.inmemory_seconds_per_record is not None:
+            return self.inmemory_seconds_per_record
+        return self.map_seconds_per_record * self.DEFAULT_INMEMORY_RATIO
+
+    def inmemory_compute(self, num_records: int) -> float:
+        """In-memory cost of one local iteration over ``num_records``."""
+        return num_records * self.inmemory_per_record
+
+    def map_compute(self, num_records: int, nbytes: int) -> float:
+        """Mapper CPU seconds for one split at reference speed."""
+        return (
+            num_records * self.map_seconds_per_record
+            + nbytes * self.map_seconds_per_byte
+        )
+
+    def reduce_compute(self, num_input_records: int) -> float:
+        """Reducer CPU seconds (merge-sort + reduce) at reference speed."""
+        return num_input_records * (
+            self.reduce_seconds_per_record + self.sort_seconds_per_record
+        )
+
+    def without_overheads(self) -> "CostHints":
+        """The strengthened-baseline variant of Section V-A.
+
+        The paper subtracts repeated job-creation and task-launch costs
+        from its baseline (optimizations of Twister/Spark/HaLoop); this
+        returns the same hints with those overheads zeroed.
+        """
+        return CostHints(
+            map_seconds_per_record=self.map_seconds_per_record,
+            map_seconds_per_byte=self.map_seconds_per_byte,
+            reduce_seconds_per_record=self.reduce_seconds_per_record,
+            sort_seconds_per_record=self.sort_seconds_per_record,
+            task_overhead_seconds=0.0,
+            job_overhead_seconds=0.0,
+            inmemory_seconds_per_record=self.inmemory_seconds_per_record,
+        )

@@ -1,0 +1,156 @@
+"""Job specification, task contexts, counters, and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cluster.metrics import TrafficCategory
+from repro.mapreduce.costs import CostHints
+from repro.mapreduce.records import hash_partitioner
+
+# Signatures (all emission goes through the context):
+#   mapper(ctx, key, value)                 — record-at-a-time
+#   batch_mapper(ctx, records)              — whole split (vectorizable)
+#   combiner(key, values) -> value          — associative local reduction
+#   reducer(ctx, key, values)               — record-at-a-time
+#   batch_reducer(ctx, grouped)             — all groups of one partition
+Mapper = Callable[["TaskContext", Any, Any], None]
+BatchMapper = Callable[["TaskContext", Sequence[tuple[Any, Any]]], None]
+Combiner = Callable[[Any, list[Any]], Any]
+Reducer = Callable[["TaskContext", Any, list[Any]], None]
+BatchReducer = Callable[["TaskContext", list[tuple[Any, list[Any]]]], None]
+
+
+class TaskContext:
+    """What a running mapper/reducer sees: the model, and ``emit``.
+
+    ``split_index`` identifies the input split a map task is processing
+    (``None`` in reducers).  ``stats`` is a scratch dict tasks may fill
+    with numeric facts (e.g. PIC's in-mapper local iteration counts);
+    the runner surfaces them in :class:`JobResult`.
+    """
+
+    def __init__(self, model: Any = None, split_index: int | None = None) -> None:
+        self.model = model
+        self.split_index = split_index
+        self.stats: dict[str, float] = {}
+        self._output: list[tuple[Any, Any]] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit one key/value record."""
+        self._output.append((key, value))
+
+    @property
+    def output(self) -> list[tuple[Any, Any]]:
+        """Records emitted so far, in emission order."""
+        return self._output
+
+
+class Counters:
+    """Hadoop-style named counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when unset)."""
+        return self._counts.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """A plain-dict copy of all counters."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counters({self._counts})"
+
+
+@dataclass
+class JobSpec:
+    """One MapReduce job.
+
+    Exactly one of ``mapper`` / ``batch_mapper`` must be given, and
+    exactly one of ``reducer`` / ``batch_reducer``.  ``combiner`` is
+    optional and, as in Hadoop, must be associative and idempotent with
+    respect to the reducer's semantics.
+    """
+
+    name: str
+    mapper: Mapper | None = None
+    batch_mapper: BatchMapper | None = None
+    reducer: Reducer | None = None
+    batch_reducer: BatchReducer | None = None
+    combiner: Combiner | None = None
+    num_reducers: int = 1
+    partitioner: Callable[[Any, int], int] = hash_partitioner
+    costs: CostHints = field(default_factory=CostHints)
+    output_category: str = TrafficCategory.MODEL_UPDATE
+    output_replication: int = 3
+    # Optional override for a map task's compute time:
+    # map_cost(num_records, split_nbytes, ctx) -> seconds at reference CPU.
+    # PIC's best-effort jobs use this to charge the in-mapper local
+    # iterations the task actually performed (reported via ctx.stats).
+    map_cost: Callable[[int, int, TaskContext], float] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.mapper is None) == (self.batch_mapper is None):
+            raise ValueError(
+                f"job {self.name!r}: specify exactly one of mapper/batch_mapper"
+            )
+        if (self.reducer is None) == (self.batch_reducer is None):
+            raise ValueError(
+                f"job {self.name!r}: specify exactly one of reducer/batch_reducer"
+            )
+        if self.num_reducers <= 0:
+            raise ValueError(
+                f"job {self.name!r}: num_reducers must be positive, got {self.num_reducers}"
+            )
+        if self.output_replication < 1:
+            raise ValueError(
+                f"job {self.name!r}: output_replication must be >= 1"
+            )
+
+    def run_mapper(self, ctx: TaskContext, records: Sequence[tuple[Any, Any]]) -> None:
+        """Invoke whichever mapper form the job defines."""
+        if self.batch_mapper is not None:
+            self.batch_mapper(ctx, records)
+        else:
+            assert self.mapper is not None
+            for key, value in records:
+                self.mapper(ctx, key, value)
+
+    def run_reducer(
+        self, ctx: TaskContext, grouped: list[tuple[Any, list[Any]]]
+    ) -> None:
+        """Invoke whichever reducer form the job defines."""
+        if self.batch_reducer is not None:
+            self.batch_reducer(ctx, grouped)
+        else:
+            assert self.reducer is not None
+            for key, values in grouped:
+                self.reducer(ctx, key, values)
+
+
+@dataclass
+class JobResult:
+    """Everything a job run produced, with measured volumes."""
+
+    job_name: str
+    output: list[tuple[Any, Any]]
+    counters: Counters
+    started_at: float
+    finished_at: float
+    map_output_bytes_raw: int = 0      # before combiner
+    shuffle_bytes: int = 0             # after combiner, map→reduce
+    output_bytes: int = 0              # reducer output, written to DFS
+    output_locations: tuple[int, ...] = (0,)  # nodes holding output replicas
+    map_stats: dict[int, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Simulated job makespan."""
+        return self.finished_at - self.started_at

@@ -1,0 +1,541 @@
+"""The MapReduce job runner: executes one job on the DES cluster.
+
+Task lifecycle (all on the simulated clock):
+
+* **map task** — wait for a map slot (locality-aware); fetch the model
+  once per node per job (``model_read`` traffic); read the input split
+  from the closest replica (``input`` traffic, free when the driver has
+  cached invariant input à la Twister/HaLoop); charge mapper compute;
+  run the *real* mapper; apply the combiner per reduce-partition; charge
+  the local spill; release the slot; start the shuffle flows.
+* **shuffle** — one flow per (map task, reduce partition) from the map
+  node to the partition's reduce node, overlapped with remaining maps,
+  exactly the all-to-all pattern that stresses the bisection.
+* **reduce task** — wait until every map's bucket for this partition has
+  arrived and a reduce slot on its node frees; charge merge-sort +
+  reduce compute; run the *real* reducer; write the output to the DFS
+  with the job's replication (``model_update`` traffic by default).
+
+Byte volumes are measured from the actual records; Hadoop-style counters
+record them for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import TrafficCategory
+from repro.dfs.dfs import DistributedFileSystem
+from repro.mapreduce.job import Counters, JobResult, JobSpec, TaskContext
+from repro.mapreduce.records import DistributedDataset, group_by_key
+from repro.mapreduce.scheduler import SlotScheduler
+from repro.util.sizing import sizeof_records
+
+
+class JobRunner:
+    """Runs MapReduce jobs on one cluster; slots persist across jobs."""
+
+    def __init__(self, cluster: Cluster, dfs: DistributedFileSystem) -> None:
+        self.cluster = cluster
+        self.dfs = dfs
+        self.map_scheduler = SlotScheduler(cluster, "map")
+        self._reduce_capacity = {
+            n.node_id: n.spec.reduce_slots for n in cluster.nodes
+        }
+        self._job_seq = itertools.count()
+
+    def run(
+        self,
+        spec: JobSpec,
+        dataset: DistributedDataset,
+        model: Any = None,
+        model_bytes: int = 0,
+        model_locations: tuple[int, ...] = (0,),
+        input_cached: bool = False,
+        model_mode: str = "broadcast",
+        failures: dict[int, int] | None = None,
+        speculative: bool = False,
+    ) -> JobResult:
+        """Execute ``spec`` over ``dataset`` and return measured results.
+
+        ``model``/``model_bytes``/``model_locations`` describe the
+        current model: the object handed to tasks, its serialized size,
+        and the nodes holding replicas of it.  ``input_cached`` marks
+        invariant input already resident from a previous iteration
+        (the paper's strengthened baseline).
+
+        ``model_mode`` selects the distribution pattern: ``"broadcast"``
+        ships the whole model to every node that runs a map task
+        (distributed-cache pattern — K-means centroids, NN weights);
+        ``"partitioned"`` ships each task only its input share of the
+        model (chained-job pattern — PageRank scores, the smoothing
+        image, the solver's unknown vector), so the per-iteration
+        distribution volume is ~one model, not one per node.
+
+        ``failures`` injects task failures Hadoop-style:
+        ``{split_index: n}`` makes the map task for that split die
+        mid-compute ``n`` times before succeeding; each attempt's
+        partial work is lost and the task is rescheduled (Section VII:
+        PIC inherits this fault tolerance unmodified).
+
+        ``speculative`` enables Hadoop's backup tasks: once every map
+        is either finished or running and slots are idle, stragglers get
+        a duplicate attempt elsewhere; the first attempt to finish wins.
+        """
+        if model_mode not in ("broadcast", "partitioned"):
+            raise ValueError(
+                f"model_mode must be 'broadcast' or 'partitioned', got {model_mode!r}"
+            )
+        state = _JobState(self, spec, dataset, model, model_bytes,
+                          model_locations, input_cached, next(self._job_seq),
+                          model_mode, failures or {}, speculative)
+        state.launch()
+        self.cluster.run()
+        return state.finish()
+
+    # -- reduce slot management (pinned to a node, FIFO waves) ----------
+
+    def try_acquire_reduce(self, node_id: int) -> bool:
+        """Claim a reduce slot on ``node_id`` if one is free."""
+        if self._reduce_capacity[node_id] > 0:
+            self._reduce_capacity[node_id] -= 1
+            return True
+        return False
+
+    def release_reduce(self, node_id: int) -> None:
+        """Return a reduce slot on ``node_id``."""
+        limit = self.cluster.nodes[node_id].spec.reduce_slots
+        if self._reduce_capacity[node_id] >= limit:
+            raise RuntimeError(f"reduce slot over-release on node {node_id}")
+        self._reduce_capacity[node_id] += 1
+
+
+class _JobState:
+    """All mutable state for one job execution."""
+
+    def __init__(
+        self,
+        runner: JobRunner,
+        spec: JobSpec,
+        dataset: DistributedDataset,
+        model: Any,
+        model_bytes: int,
+        model_locations: tuple[int, ...],
+        input_cached: bool,
+        job_index: int,
+        model_mode: str = "broadcast",
+        failures: dict[int, int] | None = None,
+        speculative: bool = False,
+    ) -> None:
+        self.runner = runner
+        self.cluster = runner.cluster
+        self.spec = spec
+        self.dataset = dataset
+        self.model = model
+        self.model_bytes = model_bytes
+        self.model_locations = tuple(model_locations) or (0,)
+        self.input_cached = input_cached
+        self.job_index = job_index
+        self.model_mode = model_mode
+        self.failures = dict(failures or {})
+        self.speculative = speculative
+        self._map_attempts: dict[int, int] = {}
+        self._running_maps: dict[int, list[dict]] = {}
+        self._completed_maps: set[int] = set()
+        self._backups_launched: set[int] = set()
+
+        self.counters = Counters()
+        self.started_at = self.cluster.now
+        self.finished_at: float | None = None
+        self.num_maps = len(dataset.splits)
+        self.num_reducers = spec.num_reducers
+        # Static round-robin reduce placement (Hadoop assigns reduce
+        # tasks across tasktrackers; waves happen when tasks > slots).
+        self.reduce_node = [
+            p % self.cluster.num_nodes for p in range(self.num_reducers)
+        ]
+        self._model_on_node: set[int] = set(self.model_locations)
+        # partition -> list of record lists from each map
+        self._buckets: dict[int, list[list[tuple[Any, Any]]]] = {
+            p: [] for p in range(self.num_reducers)
+        }
+        self._bucket_arrivals = {p: 0 for p in range(self.num_reducers)}
+        self._maps_done = 0
+        self._reduces_done = 0
+        self._reduce_started = [False] * self.num_reducers
+        self._reduce_waiting: list[int] = []
+        self._reduce_outputs: dict[int, list[tuple[Any, Any]]] = {}
+        self._output_files: list[tuple[int, ...]] = []
+        self.map_output_bytes_raw = 0
+        self.shuffle_bytes = 0
+        self.output_bytes = 0
+        self._job_map_stats: dict[int, dict[str, float]] = {}
+        self._done = False
+
+    # -- launch ----------------------------------------------------------
+
+    def launch(self) -> None:
+        """Kick off the job after its startup overhead."""
+        overhead = self.spec.costs.job_overhead_seconds
+        self.cluster.sim.schedule(overhead, self._start_maps)
+
+    def _start_maps(self) -> None:
+        for split in self.dataset.splits:
+            preferred = self.dataset.locations(split.index)
+            self.runner.map_scheduler.request(
+                callback=self._make_map_start(split.index),
+                preferred=preferred,
+            )
+
+    def _make_map_start(self, split_index: int):
+        def on_slot(node_id: int) -> None:
+            if split_index in self._completed_maps:
+                # A speculative twin already won; give the slot back.
+                self.runner.map_scheduler.release(node_id)
+                return
+            attempt = {"split": split_index, "node": node_id,
+                       "dead": False, "events": []}
+            self._running_maps.setdefault(split_index, []).append(attempt)
+            self._map_io_phase(attempt)
+
+        return on_slot
+
+    def _schedule_attempt(self, attempt: dict, delay: float, callback) -> None:
+        """Schedule a timer belonging to ``attempt`` (cancellable on kill)."""
+        event = self.cluster.sim.schedule(delay, callback)
+        attempt["events"].append(event)
+
+    def _kill_attempt(self, attempt: dict) -> None:
+        """Hadoop kills the losing/duplicate attempt: its pending timers
+        are cancelled and its slot freed immediately.  In-flight network
+        reads complete on the fabric but their continuations no-op."""
+        if attempt["dead"]:
+            return
+        attempt["dead"] = True
+        for event in attempt["events"]:
+            event.cancel()
+        self._running_maps[attempt["split"]].remove(attempt)
+        self.counters.add("speculative_losses")
+        self.runner.map_scheduler.release(attempt["node"])
+
+    # -- map task ----------------------------------------------------------
+
+    def _map_io_phase(self, attempt: dict) -> None:
+        split_index = attempt["split"]
+        node_id = attempt["node"]
+        split = self.dataset.splits[split_index]
+        pending = {"count": 1}  # 1 for the task-overhead timer
+
+        def part_done(_arg=None) -> None:
+            if attempt["dead"]:
+                return
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                self._map_compute_phase(attempt)
+
+        self._schedule_attempt(
+            attempt, self.spec.costs.task_overhead_seconds, part_done
+        )
+        # Model distribution.
+        if self.model_bytes > 0:
+            if self.model_mode == "broadcast":
+                # Whole model once per node per job (distributed cache).
+                if node_id not in self._model_on_node:
+                    self._model_on_node.add(node_id)
+                    src = self._closest_model_replica(node_id)
+                    pending["count"] += 1
+                    self.cluster.transfer(
+                        src, node_id, self.model_bytes,
+                        TrafficCategory.MODEL_READ, part_done,
+                    )
+            else:
+                # Partitioned: each task fetches only its input share.
+                total_records = max(self.dataset.num_records, 1)
+                share = self.model_bytes * len(split.records) / total_records
+                if share > 0:
+                    src = self._closest_model_replica(node_id)
+                    pending["count"] += 1
+                    if src == node_id:
+                        disk = self.cluster.nodes[node_id].spec.disk_bandwidth
+                        self._schedule_attempt(attempt, share / disk, part_done)
+                        self.cluster.meter.record(
+                            TrafficCategory.MODEL_READ, share,
+                            crosses_core=False, on_fabric=False,
+                        )
+                    else:
+                        self.cluster.transfer(
+                            src, node_id, share,
+                            TrafficCategory.MODEL_READ, part_done,
+                        )
+        # Input split read from the closest replica.
+        if not self.input_cached and split.nbytes > 0:
+            replicas = self.dataset.locations(split_index)
+            src = self._closest_of(replicas, node_id)
+            pending["count"] += 1
+            if src == node_id:
+                disk = self.cluster.nodes[node_id].spec.disk_bandwidth
+                self._schedule_attempt(attempt, split.nbytes / disk, part_done)
+                self.cluster.meter.record(
+                    TrafficCategory.INPUT, split.nbytes,
+                    crosses_core=False, on_fabric=False,
+                )
+            else:
+                self.cluster.transfer(
+                    src, node_id, split.nbytes, TrafficCategory.INPUT, part_done
+                )
+
+    def _map_compute_phase(self, attempt: dict) -> None:
+        split_index = attempt["split"]
+        node_id = attempt["node"]
+        # Injected fault: the attempt dies halfway through its compute;
+        # its work is discarded, the slot is freed and the task is
+        # rescheduled from scratch (Hadoop's retry semantics).
+        tries = self._map_attempts.get(split_index, 0)
+        self._map_attempts[split_index] = tries + 1
+        if tries < self.failures.get(split_index, 0):
+            split = self.dataset.splits[split_index]
+            wasted = 0.5 * self.spec.costs.map_compute(
+                len(split.records), split.nbytes
+            )
+            delay = self.cluster.compute_time(node_id, wasted)
+            self._schedule_attempt(
+                attempt, delay, lambda: self._map_attempt_failed(attempt)
+            )
+            return
+        # The real mapper runs here (instantaneous in simulated time);
+        # its compute *charge* is scheduled afterwards so dynamic costs
+        # can depend on what the task actually did (ctx.stats).
+        split = self.dataset.splits[split_index]
+        ctx = TaskContext(model=self.model, split_index=split_index)
+        self.spec.run_mapper(ctx, split.records)
+        if ctx.stats:
+            self._job_map_stats[split_index] = dict(ctx.stats)
+        if self.spec.map_cost is not None:
+            compute = self.spec.map_cost(len(split.records), split.nbytes, ctx)
+        else:
+            compute = self.spec.costs.map_compute(len(split.records), split.nbytes)
+            # Map-side sort/serialize of the raw output (pre-combine),
+            # as Hadoop's collect/spill path charges per record.
+            compute += self.spec.costs.sort_seconds_per_record * len(ctx.output)
+        delay = self.cluster.compute_time(node_id, compute)
+        self._schedule_attempt(
+            attempt, delay, lambda: self._map_execute(attempt, ctx)
+        )
+
+    def _map_execute(self, attempt: dict, ctx: TaskContext) -> None:
+        raw_output = ctx.output
+        buckets: dict[int, list[tuple[Any, Any]]] = {}
+        for key, value in raw_output:
+            p = self.spec.partitioner(key, self.num_reducers)
+            buckets.setdefault(p, []).append((key, value))
+        if self.spec.combiner is not None:
+            for p, recs in buckets.items():
+                combined: list[tuple[Any, Any]] = []
+                for key, values in group_by_key(recs):
+                    combined.append((key, self.spec.combiner(key, values)))
+                buckets[p] = combined
+        post_bytes = sum(sizeof_records(recs) for recs in buckets.values())
+        # Spill the (combined) map output to local disk before serving it.
+        disk = self.cluster.nodes[attempt["node"]].spec.disk_bandwidth
+        raw_bytes = sizeof_records(raw_output)
+        self._schedule_attempt(
+            attempt,
+            post_bytes / disk,
+            lambda: self._map_finish(attempt, buckets, len(raw_output), raw_bytes),
+        )
+
+    def _map_attempt_failed(self, attempt: dict) -> None:
+        split_index = attempt["split"]
+        self.counters.add("failed_map_attempts")
+        attempt["dead"] = True
+        self._running_maps[split_index].remove(attempt)
+        self.runner.map_scheduler.release(attempt["node"])
+        self.runner.map_scheduler.request(
+            callback=self._make_map_start(split_index),
+            preferred=self.dataset.locations(split_index),
+        )
+
+    def _map_finish(
+        self,
+        attempt: dict,
+        buckets: dict[int, list[tuple[Any, Any]]],
+        raw_records: int,
+        raw_bytes: int,
+    ) -> None:
+        split_index = attempt["split"]
+        node_id = attempt["node"]
+        self._running_maps[split_index].remove(attempt)
+        self._completed_maps.add(split_index)
+        self._maps_done += 1
+        # Kill any speculative twins still running this split.
+        for twin in list(self._running_maps.get(split_index, [])):
+            self._kill_attempt(twin)
+        split = self.dataset.splits[split_index]
+        self.counters.add("map_input_records", len(split.records))
+        self.counters.add("map_output_records", raw_records)
+        self.map_output_bytes_raw += raw_bytes
+        self.counters.add("map_output_bytes", raw_bytes)
+        self.counters.add(
+            "combine_output_records", sum(len(r) for r in buckets.values())
+        )
+        self.runner.map_scheduler.release(node_id)
+        self._maybe_speculate()
+        for p in range(self.num_reducers):
+            recs = buckets.get(p, [])
+            nbytes = sizeof_records(recs) if recs else 0
+            self.shuffle_bytes += nbytes
+            dst = self.reduce_node[p]
+            self.cluster.transfer(
+                node_id, dst, nbytes, TrafficCategory.SHUFFLE,
+                self._make_bucket_arrival(p, recs),
+            )
+
+    def _maybe_speculate(self) -> None:
+        """Launch backup attempts for stragglers once slots are idle.
+
+        Hadoop's condition, simplified: every map is finished or
+        running, free slots exist, and the straggler has no backup yet.
+        The backup prefers the fastest nodes not already running the
+        task; the first attempt to finish wins and the loser is killed.
+        """
+        if not self.speculative:
+            return
+        if self.runner.map_scheduler.free_slots() <= 0:
+            return
+        for split_index in range(self.num_maps):
+            attempts = self._running_maps.get(split_index, [])
+            if (
+                split_index not in self._completed_maps
+                and attempts
+                and split_index not in self._backups_launched
+            ):
+                self._backups_launched.add(split_index)
+                self.counters.add("speculative_attempts")
+                avoid = {a["node"] for a in attempts}
+                candidates = sorted(
+                    (n for n in self.cluster.nodes if n.node_id not in avoid),
+                    key=lambda n: (-n.spec.cpu_speed, n.node_id),
+                )
+                self.runner.map_scheduler.request(
+                    callback=self._make_map_start(split_index),
+                    preferred=tuple(n.node_id for n in candidates[:3]),
+                )
+
+    def _make_bucket_arrival(self, partition: int, recs: list[tuple[Any, Any]]):
+        def on_arrival(_flow=None) -> None:
+            self._buckets[partition].append(recs)
+            self._bucket_arrivals[partition] += 1
+            self._maybe_start_reduce(partition)
+
+        return on_arrival
+
+    # -- reduce task --------------------------------------------------------
+
+    def _maybe_start_reduce(self, partition: int) -> None:
+        if self._reduce_started[partition]:
+            return
+        if self._bucket_arrivals[partition] < self.num_maps:
+            return
+        node = self.reduce_node[partition]
+        if not self.runner.try_acquire_reduce(node):
+            if partition not in self._reduce_waiting:
+                self._reduce_waiting.append(partition)
+            return
+        self._reduce_started[partition] = True
+        records = [r for bucket in self._buckets[partition] for r in bucket]
+        compute = self.spec.costs.reduce_compute(len(records))
+        compute += self.spec.costs.task_overhead_seconds
+        delay = self.cluster.compute_time(node, compute)
+        self.cluster.sim.schedule(
+            delay, lambda: self._reduce_execute(partition, node, records)
+        )
+
+    def _reduce_execute(
+        self, partition: int, node_id: int, records: list[tuple[Any, Any]]
+    ) -> None:
+        ctx = TaskContext(model=self.model)
+        grouped = group_by_key(records)
+        self.spec.run_reducer(ctx, grouped)
+        output = ctx.output
+        self._reduce_outputs[partition] = output
+        self.counters.add("reduce_input_records", len(records))
+        self.counters.add("reduce_output_records", len(output))
+        nbytes = sizeof_records(output)
+        self.output_bytes += nbytes
+        path = f"/job-{self.job_index}/{self.spec.name}/out-{partition:05d}"
+        self.runner.dfs.write(
+            path,
+            nbytes,
+            writer_node=node_id,
+            category=self.spec.output_category,
+            on_complete=lambda meta: self._reduce_finish(partition, node_id, meta),
+            replication=self.spec.output_replication,
+        )
+
+    def _reduce_finish(self, partition: int, node_id: int, meta) -> None:
+        replicas: set[int] = set()
+        for block in meta.blocks:
+            replicas.update(block.replicas)
+        if not meta.blocks:
+            replicas.add(node_id)
+        self._output_files.append(tuple(sorted(replicas)))
+        self.runner.release_reduce(node_id)
+        self._reduces_done += 1
+        if self._reduce_waiting:
+            nxt = self._reduce_waiting.pop(0)
+            self._maybe_start_reduce(nxt)
+        if self._reduces_done == self.num_reducers:
+            self._done = True
+            self.finished_at = self.cluster.now
+
+    def _closest_model_replica(self, node_id: int) -> int:
+        return self._closest_of(self.model_locations, node_id)
+
+    def _closest_of(self, candidates: tuple[int, ...], node_id: int) -> int:
+        if node_id in candidates:
+            return node_id
+        topo = self.cluster.topology
+        rack = topo.nodes[node_id].rack_id
+        same_rack = [c for c in candidates if topo.nodes[c].rack_id == rack]
+        if same_rack:
+            return min(same_rack)
+        return min(candidates)
+
+    # -- results ------------------------------------------------------------
+
+    def finish(self) -> JobResult:
+        """Assemble the JobResult after the simulation quiesces."""
+        if not self._done:
+            raise RuntimeError(
+                f"job {self.spec.name!r} did not complete: "
+                f"{self._maps_done}/{self.num_maps} maps, "
+                f"{self._reduces_done}/{self.num_reducers} reduces done"
+            )
+        output = [
+            record
+            for p in range(self.num_reducers)
+            for record in self._reduce_outputs.get(p, [])
+        ]
+        self.counters.add("shuffle_bytes", self.shuffle_bytes)
+        self.counters.add("output_bytes", self.output_bytes)
+        assert self.finished_at is not None
+        return JobResult(
+            job_name=self.spec.name,
+            output=output,
+            counters=self.counters,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            map_output_bytes_raw=self.map_output_bytes_raw,
+            shuffle_bytes=self.shuffle_bytes,
+            output_bytes=self.output_bytes,
+            # Where the next iteration reads the model from: the output
+            # is striped over per-reducer files, but any reader needs all
+            # of it, so the first file's replica set (~replication nodes)
+            # is the honest "closest copy" approximation — not the union
+            # of every reducer's replicas, which would make model reads
+            # free on small clusters.
+            output_locations=self._output_files[0] if self._output_files else (0,),
+            map_stats=self._job_map_stats,
+        )

@@ -1,0 +1,146 @@
+"""Locality-aware task-slot scheduling.
+
+A simplified Hadoop FIFO scheduler: each node advertises a fixed number
+of slots of a given kind (map or reduce).  Requests carry an optional
+preference list (the nodes holding the task's input block).  When a slot
+frees, the scheduler picks, among queued requests, the first one that is
+node-local to it, then the first that is rack-local, then the oldest —
+the same data-local / rack-local / off-rack cascade Hadoop's JobTracker
+used.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cluster.cluster import Cluster
+
+
+@dataclass
+class _Request:
+    """A queued slot request with its locality preferences."""
+
+    req_id: int
+    preferred: tuple[int, ...]
+    callback: Callable[[int], None]
+    preferred_racks: frozenset[int] = field(default=frozenset())
+
+
+class SlotScheduler:
+    """Manages one kind of slot (map or reduce) across the cluster."""
+
+    def __init__(self, cluster: Cluster, kind: str) -> None:
+        if kind not in ("map", "reduce"):
+            raise ValueError(f"slot kind must be 'map' or 'reduce', got {kind!r}")
+        self.cluster = cluster
+        self.kind = kind
+        self._free: dict[int, int] = {}
+        for node in cluster.nodes:
+            slots = node.spec.map_slots if kind == "map" else node.spec.reduce_slots
+            self._free[node.node_id] = slots
+        self._capacity = dict(self._free)
+        self._queue: list[_Request] = []
+        self._ids = itertools.count()
+        # Statistics for locality reporting.
+        self.assignments_local = 0
+        self.assignments_rack = 0
+        self.assignments_remote = 0
+
+    @property
+    def total_slots(self) -> int:
+        """Cluster-wide slot count of this scheduler's kind."""
+        return sum(self._capacity.values())
+
+    def free_slots(self, node_id: int | None = None) -> int:
+        """Free slots on ``node_id``, or cluster-wide when omitted."""
+        if node_id is None:
+            return sum(self._free.values())
+        return self._free[node_id]
+
+    def request(
+        self,
+        callback: Callable[[int], None],
+        preferred: Sequence[int] = (),
+    ) -> None:
+        """Ask for a slot; ``callback(node_id)`` fires when one is granted.
+
+        Grants happen synchronously when a slot is free (the caller is
+        expected to be inside a simulation event), otherwise the request
+        queues until a release.
+        """
+        racks = frozenset(
+            self.cluster.topology.nodes[n].rack_id for n in preferred
+        )
+        req = _Request(
+            req_id=next(self._ids),
+            preferred=tuple(preferred),
+            callback=callback,
+            preferred_racks=racks,
+        )
+        node = self._pick_node_for(req)
+        if node is None:
+            self._queue.append(req)
+            return
+        self._grant(req, node)
+
+    def release(self, node_id: int) -> None:
+        """Return a slot on ``node_id`` and serve the best queued request."""
+        if self._free[node_id] >= self._capacity[node_id]:
+            raise RuntimeError(
+                f"slot over-release on node {node_id} ({self.kind} scheduler)"
+            )
+        self._free[node_id] += 1
+        self._serve_queue(node_id)
+
+    # -- internals -------------------------------------------------------
+
+    def _pick_node_for(self, req: _Request) -> int | None:
+        """Choose a free node for a fresh request: local > rack > any."""
+        free_nodes = [n for n, k in self._free.items() if k > 0]
+        if not free_nodes:
+            return None
+        local = [n for n in free_nodes if n in req.preferred]
+        if local:
+            return self._least_loaded(local)
+        topo = self.cluster.topology
+        rack_local = [
+            n for n in free_nodes if topo.nodes[n].rack_id in req.preferred_racks
+        ]
+        if rack_local:
+            return self._least_loaded(rack_local)
+        return self._least_loaded(free_nodes)
+
+    def _least_loaded(self, nodes: list[int]) -> int:
+        """Most free slots first; node id breaks ties deterministically."""
+        return min(nodes, key=lambda n: (-self._free[n], n))
+
+    def _serve_queue(self, node_id: int) -> None:
+        if not self._queue or self._free[node_id] <= 0:
+            return
+        rack = self.cluster.topology.nodes[node_id].rack_id
+        chosen = None
+        for req in self._queue:
+            if node_id in req.preferred:
+                chosen = req
+                break
+        if chosen is None:
+            for req in self._queue:
+                if rack in req.preferred_racks:
+                    chosen = req
+                    break
+        if chosen is None:
+            chosen = self._queue[0]
+        self._queue.remove(chosen)
+        self._grant(chosen, node_id)
+
+    def _grant(self, req: _Request, node_id: int) -> None:
+        self._free[node_id] -= 1
+        if node_id in req.preferred:
+            self.assignments_local += 1
+        elif self.cluster.topology.nodes[node_id].rack_id in req.preferred_racks:
+            self.assignments_rack += 1
+        else:
+            self.assignments_remote += 1
+        req.callback(node_id)

@@ -1,0 +1,261 @@
+"""The PIC programming interface (paper Figure 4).
+
+Everything except ``partition``, ``merge`` and ``be_converged`` is
+required anyway to express an iterative-convergence algorithm on
+MapReduce; those three extras have library defaults (random data
+partitioning, model averaging, and reusing ``converged``), so porting an
+existing IC program to PIC is the small effort the paper advertises.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+from repro.mapreduce.costs import CostHints
+from repro.mapreduce.job import JobSpec, TaskContext
+from repro.mapreduce.records import group_by_key
+from repro.pic.mergers import average_merge
+from repro.pic.model import model_nbytes, model_to_records, records_to_model
+from repro.pic.partitioners import random_partition, replicate_model
+from repro.util.rng import as_generator
+
+
+class PICProgram(abc.ABC):
+    """One iterative-convergence application, in both IC and PIC form.
+
+    Subclasses implement the conventional MapReduce IC pieces
+    (``map``/``batch_map``, ``reduce``/``batch_reduce``, ``build_model``,
+    ``converged``) and may override the three best-effort functions
+    (``partition``, ``merge``, ``be_converged``) plus tuning knobs
+    (``costs``, ``num_reducers``).
+    """
+
+    #: Job-chain name used in DFS paths and reports.
+    name: str = "pic-program"
+    #: Compute-cost calibration for this application's map/reduce work.
+    costs: CostHints = CostHints()
+    #: Reduce-task parallelism of the conventional implementation.
+    num_reducers: int = 8
+    #: How the model reaches map tasks: "broadcast" (whole model per
+    #: node, distributed-cache pattern) or "partitioned" (each task only
+    #: fetches its input's share, chained-job pattern).
+    model_mode: str = "broadcast"
+
+    # ------------------------------------------------------------------
+    # Conventional IC interface (required for any MapReduce realisation)
+
+    def map(self, ctx: TaskContext, key: Any, value: Any) -> None:
+        """Record-at-a-time mapper; ``ctx.model`` is the current model."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement map() or batch_map()"
+        )
+
+    def batch_map(self, ctx: TaskContext, records: Sequence[tuple[Any, Any]]) -> None:
+        """Whole-split mapper (override for vectorized inner loops)."""
+        for key, value in records:
+            self.map(ctx, key, value)
+
+    def reduce(self, ctx: TaskContext, key: Any, values: list[Any]) -> None:
+        """Record-at-a-time reducer."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement reduce() or batch_reduce()"
+        )
+
+    def batch_reduce(
+        self, ctx: TaskContext, grouped: list[tuple[Any, list[Any]]]
+    ) -> None:
+        """All key groups of one partition (override to vectorize)."""
+        for key, values in grouped:
+            self.reduce(ctx, key, values)
+
+    def combine(self, key: Any, values: list[Any]) -> Any:
+        """Optional combiner; override to enable one.
+
+        Must be associative and compatible with the reducer (it sees
+        combined values).  The job uses a combiner iff this method is
+        overridden.
+        """
+        raise NotImplementedError("no combiner defined")
+
+    @abc.abstractmethod
+    def build_model(self, model: Any, output: list[tuple[Any, Any]]) -> Any:
+        """Fold one iteration's reduce output into the next model."""
+
+    @abc.abstractmethod
+    def converged(self, previous: Any, current: Any, iteration: int) -> bool:
+        """The application's convergence criterion (Figure 1(a))."""
+
+    def initial_model(self, records: Sequence[tuple[Any, Any]], seed: Any = 0) -> Any:
+        """Produce a starting model from the input data."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide initial_model(); "
+            "pass a model explicitly"
+        )
+
+    def model_bytes(self, model: Any) -> int:
+        """Serialized model size; drives model-update traffic accounting."""
+        return model_nbytes(model)
+
+    def model_records(self, model: Any) -> list[tuple[Any, Any]]:
+        """Flatten the model to key/value records (Section III-C)."""
+        return model_to_records(model)
+
+    def model_from_records(self, records: list[tuple[Any, Any]]) -> Any:
+        """Rebuild a model from its key/value records."""
+        return records_to_model(records)
+
+    # ------------------------------------------------------------------
+    # In-memory execution (used by the best-effort phase's map tasks)
+
+    def run_iteration_in_memory(
+        self, records: Sequence[tuple[Any, Any]], model: Any, iteration: int
+    ) -> tuple[Any, float]:
+        """Run one IC iteration serially in memory.
+
+        This is how a PIC best-effort map task executes the *original*
+        computation on its sub-problem without any MapReduce machinery.
+        Returns ``(next_model, compute_seconds)`` where the compute cost
+        is what the equivalent map+sort+reduce work would have charged.
+        """
+        current = model
+        compute = 0.0
+        for spec in self.jobs(current, iteration):
+            ctx = TaskContext(model=current)
+            spec.run_mapper(ctx, records)
+            out = ctx.output
+            # In memory there is no record pipeline: no deserialization,
+            # sort, spill, or shuffle — just the computation itself.
+            compute += spec.costs.inmemory_compute(len(records))
+            grouped = group_by_key(out)
+            if spec.combiner is not None:
+                grouped = [(k, [spec.combiner(k, vs)]) for k, vs in grouped]
+            rctx = TaskContext(model=current)
+            spec.run_reducer(rctx, grouped)
+            current = self.build_model(current, rctx.output)
+        return current, compute
+
+    def solve_in_memory(
+        self,
+        records: Sequence[tuple[Any, Any]],
+        model: Any,
+        max_iterations: int | None = None,
+    ) -> tuple[Any, int, float]:
+        """Run local IC iterations to convergence, serially in memory.
+
+        Returns ``(model, iterations, compute_seconds)``.  The same
+        convergence criterion as the conventional implementation is used
+        for every sub-problem (Section IV-A).
+        """
+        if max_iterations is None:
+            max_iterations = self.local_max_iterations()
+        current = model
+        total_compute = 0.0
+        iterations = 0
+        for it in range(max_iterations):
+            previous = current
+            current, compute = self.run_iteration_in_memory(records, current, it)
+            total_compute += compute
+            iterations += 1
+            if self.converged(previous, current, it):
+                break
+        return current, iterations, total_compute
+
+    # ------------------------------------------------------------------
+    # Job-chain plumbing (default: one MapReduce job per iteration)
+
+    def jobs(self, model: Any, iteration: int) -> list[JobSpec]:
+        """The MapReduce job chain for one IC iteration.
+
+        Most algorithms need a single job; PageRank overrides this to
+        chain its aggregation and propagation phases.
+        """
+        return [self.job_spec(suffix="")]
+
+    def job_spec(self, suffix: str = "") -> JobSpec:
+        """Build a :class:`JobSpec` from this program's map/reduce."""
+        has_combiner = type(self).combine is not PICProgram.combine
+        uses_batch_map = type(self).batch_map is not PICProgram.batch_map
+        uses_batch_reduce = type(self).batch_reduce is not PICProgram.batch_reduce
+        return JobSpec(
+            name=f"{self.name}{suffix}",
+            mapper=None if uses_batch_map else self.map,
+            batch_mapper=self.batch_map if uses_batch_map else None,
+            reducer=None if uses_batch_reduce else self.reduce,
+            batch_reducer=self.batch_reduce if uses_batch_reduce else None,
+            combiner=self.combine if has_combiner else None,
+            num_reducers=self.num_reducers,
+            costs=self.costs,
+        )
+
+    # ------------------------------------------------------------------
+    # Best-effort extras (the only three PIC-specific functions)
+
+    def partition(
+        self,
+        records: Sequence[tuple[Any, Any]],
+        model: Any,
+        num_partitions: int,
+        seed: Any = 0,
+    ) -> list[tuple[list[tuple[Any, Any]], Any]]:
+        """Split the problem into ``num_partitions`` (data, model) pairs.
+
+        Default (suits K-means-like algorithms): randomly partition the
+        input data and give every sub-problem a copy of the model.
+        """
+        rng = as_generator(seed)
+        parts = random_partition(records, num_partitions, rng)
+        models = replicate_model(model, num_partitions)
+        return list(zip(parts, models))
+
+    def merge(self, models: list[Any]) -> Any:
+        """Combine sub-problem models into one (default: average)."""
+        return average_merge(models)
+
+    def merge_element(self, key: Any, values: list[Any]) -> Any:
+        """Element-wise merge of one model entry's values across the
+        sub-problems that emitted it.
+
+        Overriding this enables the *distributed merge* of Section
+        III-C: "representing the model as key/value pairs also allows
+        the merge function itself to execute in a distributed fashion as
+        a MapReduce job" — the best-effort reduce then runs with full
+        reducer parallelism instead of a single merge reducer.  Only
+        merges that are per-element (averaging corresponding centroids,
+        stitching disjoint entries) qualify; merges with global coupling
+        (PageRank's cross-edge pass) keep the centralized ``merge``.
+        """
+        raise NotImplementedError("no element-wise merge defined")
+
+    @property
+    def supports_distributed_merge(self) -> bool:
+        """True when ``merge_element`` is overridden."""
+        return type(self).merge_element is not PICProgram.merge_element
+
+    def owned_model_records(
+        self, model: Any, partition_index: int
+    ) -> list[tuple[Any, Any]]:
+        """The model entries sub-problem ``partition_index`` *owns*.
+
+        Under the distributed merge each best-effort map task emits only
+        these (halo/overlap copies stay local); the default is the whole
+        sub-model, which suits replicated-model algorithms like K-means.
+        """
+        return self.model_records(model)
+
+    def be_converged(self, previous: Any, current: Any, be_iteration: int) -> bool:
+        """Best-effort termination (default: the IC criterion)."""
+        return self.converged(previous, current, be_iteration)
+
+    def topoff_converged(self, previous: Any, current: Any, iteration: int) -> bool:
+        """Top-off termination (default: the IC criterion).
+
+        Fixed-iteration algorithms like Nutch PageRank override this
+        with a small pre-set limit: the best-effort phase has already
+        done the bulk of the refinement.
+        """
+        return self.converged(previous, current, iteration)
+
+    def local_max_iterations(self) -> int:
+        """Cap on local iterations per sub-problem per best-effort round."""
+        return 100

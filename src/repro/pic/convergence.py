@@ -1,0 +1,65 @@
+"""Reusable convergence criteria for IC and best-effort loops."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+
+def kv_model_max_change(previous: dict[Any, Any], current: dict[Any, Any]) -> float:
+    """Max Euclidean displacement of any model element between iterations.
+
+    Elements present on only one side count as infinite change (the
+    model's support moved).
+    """
+    if previous.keys() != current.keys():
+        return float("inf")
+    worst = 0.0
+    for key, new_value in current.items():
+        old = np.asarray(previous[key], dtype=float)
+        new = np.asarray(new_value, dtype=float)
+        if old.shape != new.shape:
+            return float("inf")
+        worst = max(worst, float(np.linalg.norm(new - old)))
+    return worst
+
+
+def max_change_below(
+    threshold: float,
+    distance: Callable[[Any, Any], float] = kv_model_max_change,
+) -> Callable[[Any, Any, int], bool]:
+    """Converged when ``distance(previous, current) < threshold``.
+
+    This is the paper's K-means criterion: "if the change in the value
+    of all the K centroids is within a pre-specified threshold".
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+
+    def criterion(previous: Any, current: Any, iteration: int) -> bool:
+        return distance(previous, current) < threshold
+
+    return criterion
+
+
+def fixed_iterations(limit: int) -> Callable[[Any, Any, int], bool]:
+    """Converged after exactly ``limit`` iterations (Nutch PageRank)."""
+    if limit < 1:
+        raise ValueError(f"iteration limit must be >= 1, got {limit}")
+
+    def criterion(previous: Any, current: Any, iteration: int) -> bool:
+        return iteration + 1 >= limit
+
+    return criterion
+
+
+def either(*criteria: Callable[[Any, Any, int], bool]) -> Callable[[Any, Any, int], bool]:
+    """Converged when any of the criteria holds (threshold OR iteration cap)."""
+    if not criteria:
+        raise ValueError("either() needs at least one criterion")
+
+    def criterion(previous: Any, current: Any, iteration: int) -> bool:
+        return any(c(previous, current, iteration) for c in criteria)
+
+    return criterion

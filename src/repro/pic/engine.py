@@ -1,0 +1,360 @@
+"""The best-effort phase engine (Sections III-A/III-B, Figure 5).
+
+Each best-effort iteration is realised exactly the way the paper's
+Hadoop library works — as **one MapReduce job**:
+
+* one *map task per sub-problem*: the task receives its partition's
+  (co-located) input data and its sub-model, and runs the **original IC
+  computation to local convergence entirely in memory** ("local
+  iterations").  No intermediate data leaves the task — this is why
+  PIC's measured intermediate-data volume collapses from gigabytes to
+  kilobytes (Table II);
+* the map output is just each sub-problem's partial model, expressed as
+  key/value records (Section III-C);
+* the *reduce* applies the programmer's ``merge`` function and writes
+  the merged model to the DFS (the only model-update traffic).
+
+The map tasks' simulated compute time is charged dynamically from the
+local iterations each task actually performed (the real computation runs
+inside the mapper), so partitions that converge quickly cost less.
+
+Input co-location is charged once: before the first best-effort
+iteration the partition data is scattered to the node that will own each
+sub-problem (``repartition`` traffic); afterwards the input is invariant
+and cached — the identical courtesy the strengthened IC baseline enjoys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import TrafficCategory
+from repro.dfs.dfs import DistributedFileSystem
+from repro.mapreduce.job import JobResult, JobSpec, TaskContext
+from repro.mapreduce.records import DistributedDataset
+from repro.mapreduce.runner import JobRunner
+from repro.pic.api import PICProgram
+from repro.util.rng import SeedLike
+from repro.util.sizing import sizeof_records
+
+
+@dataclass
+class SubProblem:
+    """One partition of the problem, bound to a home node."""
+
+    index: int
+    records: list[tuple[Any, Any]]
+    model: Any
+    home_node: int
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size of this partition's input records."""
+        return sizeof_records(self.records)
+
+
+@dataclass
+class BEIterationStats:
+    """Per-best-effort-iteration measurements (feeds Table I)."""
+
+    be_iteration: int
+    local_iterations: list[int]
+    duration: float
+    shuffle_bytes: int
+    model_update_bytes: int
+
+    @property
+    def max_local_iterations(self) -> int:
+        """The straggler sub-problem's local iteration count."""
+        return max(self.local_iterations) if self.local_iterations else 0
+
+
+@dataclass
+class BestEffortResult:
+    """Merged model and the full best-effort trace."""
+
+    model: Any
+    be_iterations: int
+    stats: list[BEIterationStats]
+    total_time: float
+    model_locations: tuple[int, ...]
+
+    @property
+    def local_iterations_by_round(self) -> list[list[int]]:
+        """Per-round, per-partition local iteration counts."""
+        return [s.local_iterations for s in self.stats]
+
+    @property
+    def max_local_iterations_by_round(self) -> list[int]:
+        """Table I's \"(max) local iterations\" row."""
+        return [s.max_local_iterations for s in self.stats]
+
+
+class BestEffortEngine:
+    """Runs the best-effort phase of a :class:`PICProgram` on a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        program: PICProgram,
+        num_partitions: int,
+        seed: SeedLike = 0,
+        be_max_iterations: int = 20,
+        optimized_baseline: bool = True,
+        runner: JobRunner | None = None,
+        dfs: DistributedFileSystem | None = None,
+        distributed_merge: bool | None = None,
+        speculative: bool = False,
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        if be_max_iterations < 1:
+            raise ValueError("be_max_iterations must be >= 1")
+        if distributed_merge is None:
+            distributed_merge = False  # opt-in; see the merge ablation bench
+        if distributed_merge and not program.supports_distributed_merge:
+            raise ValueError(
+                f"{type(program).__name__} does not define merge_element(); "
+                "a distributed merge needs an element-wise merge"
+            )
+        self.distributed_merge = distributed_merge
+        self.speculative = speculative
+        self.cluster = cluster
+        self.program = program
+        self.num_partitions = num_partitions
+        self.seed = seed
+        self.be_max_iterations = be_max_iterations
+        self.optimized_baseline = optimized_baseline
+        self.dfs = dfs or DistributedFileSystem(
+            cluster, replication=min(3, cluster.num_nodes), seed=23
+        )
+        self.runner = runner or JobRunner(cluster, self.dfs)
+        self._dataset_seq = 0
+
+    def home_node(self, subproblem_index: int) -> int:
+        """Sub-problems are dealt round-robin over the nodes."""
+        return subproblem_index % self.cluster.num_nodes
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, records: Sequence[tuple[Any, Any]], initial_model: Any
+    ) -> BestEffortResult:
+        """Execute best-effort iterations until ``be_converged``."""
+        cluster = self.cluster
+        program = self.program
+        model = initial_model
+        model_locations: tuple[int, ...] = (0,)
+        stats: list[BEIterationStats] = []
+        started = cluster.now
+        dataset: DistributedDataset | None = None
+
+        for be_iter in range(self.be_max_iterations):
+            iter_start = cluster.now
+            meter_before = cluster.meter.snapshot()
+            subs = self._partition(records, model)
+            sub_models = [s.model for s in subs]
+
+            if dataset is None:
+                dataset = self._colocate(subs)
+                cluster.run()
+
+            # PIC partitions the model: each best-effort map task receives
+            # only its sub-model, so distribution is a scatter of the
+            # partial models, not a full-model broadcast per node.
+            self._scatter_sub_models(subs, model_locations)
+            cluster.run()
+
+            spec = self._be_job_spec(be_iter)
+            result = self.runner.run(
+                spec,
+                dataset,
+                model=_BEModel(sub_models),
+                model_bytes=0,
+                model_locations=model_locations,
+                input_cached=self.optimized_baseline and be_iter > 0,
+                speculative=self.speculative,
+            )
+            merged = program.model_from_records(result.output)
+            model_locations = result.output_locations
+
+            delta = cluster.meter.diff(meter_before)
+            stats.append(
+                BEIterationStats(
+                    be_iteration=be_iter,
+                    local_iterations=self._local_iteration_counts(result),
+                    duration=cluster.now - iter_start,
+                    shuffle_bytes=int(delta.get("shuffle", {}).get("total_bytes", 0)),
+                    model_update_bytes=int(
+                        delta.get("model_update", {}).get("total_bytes", 0)
+                    ),
+                )
+            )
+            previous, model = model, merged
+            if program.be_converged(previous, model, be_iter):
+                break
+
+        return BestEffortResult(
+            model=model,
+            be_iterations=len(stats),
+            stats=stats,
+            total_time=cluster.now - started,
+            model_locations=model_locations,
+        )
+
+    # -- phase steps -----------------------------------------------------
+
+    def _partition(
+        self, records: Sequence[tuple[Any, Any]], model: Any
+    ) -> list[SubProblem]:
+        pairs = self.program.partition(
+            records, model, self.num_partitions, seed=self.seed
+        )
+        if len(pairs) != self.num_partitions:
+            raise ValueError(
+                f"partition() returned {len(pairs)} sub-problems, "
+                f"expected {self.num_partitions}"
+            )
+        return [
+            SubProblem(
+                index=i, records=list(recs), model=m, home_node=self.home_node(i)
+            )
+            for i, (recs, m) in enumerate(pairs)
+        ]
+
+    def _scatter_sub_models(
+        self, subs: list[SubProblem], model_locations: tuple[int, ...]
+    ) -> None:
+        """Ship each sub-problem's model share from the merged model's
+        closest replica to the sub-problem's home node."""
+        for sub in subs:
+            nbytes = self.program.model_bytes(sub.model)
+            if nbytes <= 0:
+                continue
+            src = (
+                sub.home_node
+                if sub.home_node in model_locations
+                else min(model_locations)
+            )
+            if src == sub.home_node:
+                # Local share: no fabric traffic, but it was read.
+                self.cluster.meter.record(
+                    TrafficCategory.MODEL_READ, nbytes,
+                    crosses_core=False, on_fabric=False,
+                )
+            else:
+                self.cluster.transfer(
+                    src, sub.home_node, nbytes, TrafficCategory.MODEL_READ
+                )
+
+    def _colocate(self, subs: list[SubProblem]) -> DistributedDataset:
+        """Pin each partition's data to its home node, charging the
+        one-time scatter from the (uniformly spread) original input."""
+        cluster = self.cluster
+        n = cluster.num_nodes
+        for sub in subs:
+            nbytes = sub.nbytes
+            if nbytes == 0:
+                continue
+            per_node = nbytes / n
+            for src in range(n):
+                if src == sub.home_node:
+                    continue
+                cluster.transfer(
+                    src, sub.home_node, per_node, TrafficCategory.REPARTITION
+                )
+        self._dataset_seq += 1
+        return DistributedDataset.from_partitions(
+            self.dfs,
+            f"/pic/{self.program.name}/partitions-{self._dataset_seq}",
+            [sub.records for sub in subs],
+            placements=[sub.home_node for sub in subs],
+            replication=1,
+        )
+
+    def _be_job_spec(self, be_iter: int) -> JobSpec:
+        program = self.program
+
+        def solve(ctx: TaskContext, records: Sequence[tuple[Any, Any]]):
+            assert ctx.split_index is not None
+            sub_model = ctx.model.sub_models[ctx.split_index]
+            solved, iterations, compute = program.solve_in_memory(
+                records, sub_model
+            )
+            ctx.stats["local_iterations"] = iterations
+            ctx.stats["compute_seconds"] = compute
+            return solved
+
+        def be_map_cost(num_records: int, nbytes: int, ctx: TaskContext) -> float:
+            return ctx.stats.get("compute_seconds", 0.0)
+
+        costs = program.costs
+        if self.optimized_baseline:
+            costs = costs.without_overheads()
+        common = dict(
+            name=f"{program.name}-be{be_iter}",
+            costs=costs,
+            output_category=TrafficCategory.MODEL_UPDATE,
+            output_replication=min(3, self.cluster.num_nodes),
+            map_cost=be_map_cost,
+        )
+
+        if self.distributed_merge:
+            # Section III-C: the merge runs as a normal MapReduce job —
+            # tasks emit their *owned* model entries per element and
+            # reducers apply merge_element with full parallelism.
+            def be_mapper(ctx, records):
+                solved = solve(ctx, records)
+                for key, value in program.owned_model_records(
+                    solved, ctx.split_index
+                ):
+                    ctx.emit(key, value)
+
+            def be_reducer(ctx, key, values):
+                ctx.emit(key, program.merge_element(key, values))
+
+            return JobSpec(
+                batch_mapper=be_mapper,
+                reducer=be_reducer,
+                num_reducers=program.num_reducers,
+                **common,
+            )
+
+        # Centralized merge: one reducer reconstructs every partial
+        # model and applies the programmer's merge().
+        def be_mapper_central(ctx, records):
+            solved = solve(ctx, records)
+            ctx.emit(0, (ctx.split_index, program.model_records(solved)))
+
+        def be_reducer_central(ctx, grouped):
+            partials: list[tuple[int, list[tuple[Any, Any]]]] = []
+            for _key, values in grouped:
+                partials.extend(values)
+            partials.sort(key=lambda pv: pv[0])
+            models = [program.model_from_records(recs) for _i, recs in partials]
+            merged = program.merge(models)
+            for key, value in program.model_records(merged):
+                ctx.emit(key, value)
+
+        return JobSpec(
+            batch_mapper=be_mapper_central,
+            batch_reducer=be_reducer_central,
+            num_reducers=1,
+            partitioner=lambda key, n: 0,
+            **common,
+        )
+
+    def _local_iteration_counts(self, result: JobResult) -> list[int]:
+        return [
+            int(result.map_stats.get(i, {}).get("local_iterations", 0))
+            for i in range(self.num_partitions)
+        ]
+
+
+class _BEModel:
+    """Wrapper handed to best-effort map tasks: per-partition sub-models."""
+
+    def __init__(self, sub_models: list[Any]) -> None:
+        self.sub_models = sub_models

@@ -1,0 +1,149 @@
+"""Min-cut k-way graph partitioning (the paper's METIS substitute).
+
+Section III-B ranks partition functions from "randomly breaking up the
+input" to "sophisticated partitioning schemes such as min-cut graph
+partitioning", and Section VI-B notes that "by properly partitioning
+[the web graph] (for example using the METIS package), the connectivity
+matrix of the graph becomes nearly uncoupled".
+
+This module implements the classic two-stage heuristic those tools use:
+
+1. **BFS region growing** — seed k regions and grow them breadth-first
+   under a balance cap, which already exploits locality;
+2. **boundary refinement** — greedy Kernighan–Lin-style single-vertex
+   moves: repeatedly move the boundary vertex with the largest positive
+   (cut-reduction) gain to the neighbouring partition where most of its
+   edges live, subject to the balance cap.
+
+Deterministic for a given seed, pure Python + NumPy, good enough to take
+a locally-connected web graph's cut fraction far below random
+partitioning's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+
+
+def _build_adjacency(
+    edges: Iterable[tuple[int, int]], num_vertices: int
+) -> list[list[int]]:
+    """Undirected adjacency lists (duplicate edges merged)."""
+    neighbor_sets: list[set[int]] = [set() for _ in range(num_vertices)]
+    for u, v in edges:
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise ValueError(f"edge ({u}, {v}) out of range 0..{num_vertices - 1}")
+        if u != v:
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+    return [sorted(s) for s in neighbor_sets]
+
+
+def cut_size(edges: Iterable[tuple[int, int]], assignment: Mapping[int, int]) -> int:
+    """Number of edges whose endpoints land in different partitions."""
+    return sum(1 for u, v in edges if assignment[u] != assignment[v])
+
+
+def mincut_partition(
+    num_vertices: int,
+    edges: list[tuple[int, int]],
+    num_partitions: int,
+    seed: SeedLike = 0,
+    balance_slack: float = 0.1,
+    refinement_passes: int = 8,
+) -> dict[int, int]:
+    """Partition vertices into ``num_partitions`` near-equal groups with
+    a small edge cut.  Returns ``{vertex: partition}``.
+
+    ``balance_slack`` caps each partition at
+    ``ceil(n/k) * (1 + balance_slack)`` vertices.
+    """
+    if num_vertices < 1:
+        raise ValueError(f"num_vertices must be >= 1, got {num_vertices}")
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    if num_partitions > num_vertices:
+        raise ValueError(
+            f"cannot split {num_vertices} vertices into {num_partitions} parts"
+        )
+    if balance_slack < 0:
+        raise ValueError(f"balance_slack must be >= 0, got {balance_slack}")
+    adjacency = _build_adjacency(edges, num_vertices)
+    rng = as_generator(seed)
+    cap = int(np.ceil(num_vertices / num_partitions) * (1.0 + balance_slack))
+    cap = max(cap, 1)
+
+    # --- stage 1: BFS region growing ---------------------------------
+    assignment = np.full(num_vertices, -1, dtype=np.int64)
+    sizes = np.zeros(num_partitions, dtype=np.int64)
+    seeds = rng.choice(num_vertices, size=num_partitions, replace=False)
+    queues: list[deque[int]] = []
+    for p, s in enumerate(seeds):
+        assignment[s] = p
+        sizes[p] = 1
+        queues.append(deque([int(s)]))
+
+    active = True
+    while active:
+        active = False
+        for p in range(num_partitions):
+            if sizes[p] >= cap:
+                continue
+            queue = queues[p]
+            grew = False
+            while queue and not grew:
+                u = queue[0]
+                for v in adjacency[u]:
+                    if assignment[v] == -1:
+                        assignment[v] = p
+                        sizes[p] += 1
+                        queue.append(v)
+                        grew = True
+                        active = True
+                        break
+                else:
+                    queue.popleft()
+
+    # Unreached vertices (isolated or fenced off): fill smallest parts.
+    for v in np.flatnonzero(assignment == -1):
+        p = int(np.argmin(sizes))
+        assignment[v] = p
+        sizes[p] += 1
+
+    # --- stage 2: greedy boundary refinement --------------------------
+    for _ in range(refinement_passes):
+        moved = 0
+        for u in range(num_vertices):
+            home = int(assignment[u])
+            if sizes[home] <= 1:
+                continue
+            counts: dict[int, int] = {}
+            for v in adjacency[u]:
+                pv = int(assignment[v])
+                counts[pv] = counts.get(pv, 0) + 1
+            internal = counts.get(home, 0)
+            best_gain = 0
+            best_target = home
+            for target, external in counts.items():
+                if target == home or sizes[target] >= cap:
+                    continue
+                gain = external - internal
+                if gain > best_gain or (
+                    gain == best_gain and gain > 0 and target < best_target
+                ):
+                    best_gain = gain
+                    best_target = target
+            if best_target != home:
+                assignment[u] = best_target
+                sizes[home] -= 1
+                sizes[best_target] += 1
+                moved += 1
+        if moved == 0:
+            break
+
+    return {v: int(assignment[v]) for v in range(num_vertices)}

@@ -1,0 +1,90 @@
+"""Default ``partition`` strategies (Section III-B).
+
+The paper's experiments use simple random partitioning for K-means and
+random vertex grouping for PageRank, and note that "sophisticated
+partitioning schemes such as min-cut graph partitioning" are possible.
+All strategies here return plain lists of record lists; model handling
+(replicate vs split) is a separate concern — see :func:`replicate_model`
+and the graph partitioner in :mod:`repro.apps.pagerank`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.mapreduce.records import stable_hash
+from repro.util.rng import SeedLike, as_generator
+
+
+def _check_num_partitions(num_partitions: int) -> None:
+    if num_partitions <= 0:
+        raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+
+
+def random_partition(
+    records: Sequence[tuple[Any, Any]],
+    num_partitions: int,
+    seed: SeedLike = 0,
+) -> list[list[tuple[Any, Any]]]:
+    """Shuffle records and deal them into near-equal partitions."""
+    _check_num_partitions(num_partitions)
+    rng = as_generator(seed)
+    order = rng.permutation(len(records))
+    parts: list[list[tuple[Any, Any]]] = [[] for _ in range(num_partitions)]
+    for position, record_index in enumerate(order):
+        parts[position % num_partitions].append(records[record_index])
+    return parts
+
+
+def chunk_partition(
+    records: Sequence[tuple[Any, Any]], num_partitions: int
+) -> list[list[tuple[Any, Any]]]:
+    """Contiguous near-equal chunks (preserves input order/locality)."""
+    _check_num_partitions(num_partitions)
+    n = len(records)
+    bounds = [round(i * n / num_partitions) for i in range(num_partitions + 1)]
+    return [list(records[bounds[i] : bounds[i + 1]]) for i in range(num_partitions)]
+
+
+def hash_partition(
+    records: Sequence[tuple[Any, Any]], num_partitions: int
+) -> list[list[tuple[Any, Any]]]:
+    """Partition by stable key hash (co-locates equal keys)."""
+    _check_num_partitions(num_partitions)
+    parts: list[list[tuple[Any, Any]]] = [[] for _ in range(num_partitions)]
+    for key, value in records:
+        parts[stable_hash(key) % num_partitions].append((key, value))
+    return parts
+
+
+def replicate_model(model: Any, num_partitions: int) -> list[Any]:
+    """Give each sub-problem its own deep copy of the model.
+
+    Deep copies keep sub-problems from mutating shared arrays — the
+    sub-problems are *independent* by construction in PIC.
+    """
+    _check_num_partitions(num_partitions)
+    return [copy.deepcopy(model) for _ in range(num_partitions)]
+
+
+def split_model_by_key(
+    model: dict[Any, Any],
+    assignment: dict[Any, int],
+    num_partitions: int,
+) -> list[dict[Any, Any]]:
+    """Split a KV model into disjoint parts by a key→partition map.
+
+    Used when the partition function divides the model itself (the
+    PageRank pattern), rather than copying it.
+    """
+    _check_num_partitions(num_partitions)
+    parts: list[dict[Any, Any]] = [{} for _ in range(num_partitions)]
+    for key, value in model.items():
+        p = assignment[key]
+        if not 0 <= p < num_partitions:
+            raise ValueError(f"model key {key!r} assigned to invalid partition {p}")
+        parts[p][key] = value
+    return parts

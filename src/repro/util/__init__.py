@@ -1,0 +1,17 @@
+"""Shared utilities: RNG discipline, byte sizing, formatting, validation."""
+
+from repro.util.rng import Seeded, spawn_rngs, as_generator
+from repro.util.sizing import sizeof_value, sizeof_record, sizeof_records
+from repro.util.formatting import human_bytes, human_time, render_table
+
+__all__ = [
+    "Seeded",
+    "spawn_rngs",
+    "as_generator",
+    "sizeof_value",
+    "sizeof_record",
+    "sizeof_records",
+    "human_bytes",
+    "human_time",
+    "render_table",
+]

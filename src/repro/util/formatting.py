@@ -1,0 +1,61 @@
+"""Human-readable formatting for bench output: bytes, durations, tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count the way the paper's tables do (KB/MB/GB, base 1024)."""
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    value = float(n)
+    for unit in _BYTE_UNITS:
+        if value < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_time(seconds: float) -> str:
+    """Format a duration as s / m / h with sensible precision."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an ASCII table; every bench uses this so outputs align with the paper."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

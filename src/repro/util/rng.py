@@ -1,0 +1,65 @@
+"""Deterministic random-number discipline.
+
+Every stochastic component in the library accepts either an integer seed
+or a ``numpy.random.Generator``; nothing ever touches global NumPy random
+state.  Components that need several independent streams derive them with
+:func:`spawn_rngs`, which uses NumPy's ``SeedSequence`` spawning so the
+streams are statistically independent and reproducible regardless of the
+order in which they are consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    Accepts an ``int``, an existing ``Generator`` (returned unchanged), a
+    ``SeedSequence``, or ``None`` (fresh OS entropy — only appropriate in
+    interactive use, never inside the library's deterministic paths).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so child streams do not overlap.  When
+    ``seed`` is already a ``Generator``, children are derived from its
+    bit generator's seed sequence if available, otherwise from integers
+    drawn from it (still deterministic for a seeded parent).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of rngs: {n}")
+    if isinstance(seed, np.random.Generator):
+        ss = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if isinstance(ss, np.random.SeedSequence):
+            return [np.random.default_rng(child) for child in ss.spawn(n)]
+        ints = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(i)) for i in ints]
+    if isinstance(seed, np.random.SeedSequence):
+        base = seed
+    else:
+        base = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in base.spawn(n)]
+
+
+class Seeded:
+    """Mixin for components that own a deterministic RNG stream.
+
+    Subclasses call ``super().__init__(seed=...)`` (or ``Seeded.__init__``)
+    and then use ``self.rng``.
+    """
+
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self.rng = as_generator(seed)

@@ -1,0 +1,33 @@
+"""YARN-style resource management (the paper's Section VII future work).
+
+The paper: "We have considered the new version of Hadoop (Yarn, 0.23)
+and believe that its design architecture (resource manager, node
+managers and containers) is a good fit for PIC, and PIC can be easily
+ported to it.  We leave this as future work."
+
+This package does that port for the simulated stack:
+
+* :mod:`repro.yarn.resources` — multi-dimensional resource vectors
+  (memory, vcores);
+* :mod:`repro.yarn.rm` — a ResourceManager allocating *containers*
+  against per-node capacities (locality-aware, FIFO with a grant queue)
+  instead of fixed map/reduce slots;
+* :mod:`repro.yarn.runner` — :class:`YarnJobRunner`, a drop-in
+  :class:`~repro.mapreduce.runner.JobRunner` replacement whose tasks run
+  in containers.  Because PIC sits entirely above the job runner, it
+  ports with **zero changes** — exactly the paper's expectation.
+"""
+
+from repro.yarn.resources import Resource
+from repro.yarn.rm import Container, ContainerRequest, ResourceManager
+from repro.yarn.runner import YarnJobRunner, MAP_PROFILE, REDUCE_PROFILE
+
+__all__ = [
+    "Resource",
+    "Container",
+    "ContainerRequest",
+    "ResourceManager",
+    "YarnJobRunner",
+    "MAP_PROFILE",
+    "REDUCE_PROFILE",
+]

@@ -1,0 +1,37 @@
+"""Multi-dimensional resource vectors (YARN's memory + vcores)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Resource:
+    """An amount of cluster resources."""
+
+    memory_mb: int
+    vcores: int
+
+    def __post_init__(self) -> None:
+        if self.memory_mb < 0 or self.vcores < 0:
+            raise ValueError(f"resources must be non-negative, got {self}")
+
+    def fits_in(self, capacity: "Resource") -> bool:
+        """True when this demand fits inside ``capacity``."""
+        return (
+            self.memory_mb <= capacity.memory_mb and self.vcores <= capacity.vcores
+        )
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb + other.memory_mb, self.vcores + other.vcores)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        result = Resource(
+            self.memory_mb - other.memory_mb, self.vcores - other.vcores
+        )
+        return result
+
+    @classmethod
+    def zero(cls) -> "Resource":
+        """The empty resource vector."""
+        return cls(0, 0)

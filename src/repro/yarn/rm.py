@@ -1,0 +1,192 @@
+"""The ResourceManager: containers against per-node capacities.
+
+Replaces Hadoop 0.20's fixed map/reduce slots with YARN's model: each
+node advertises a capacity vector (memory, vcores) derived from its
+:class:`~repro.cluster.topology.NodeSpec`; tasks ask for containers of a
+given profile; grants are locality-aware (node-local > rack-local >
+any), and unsatisfiable requests queue FIFO until releases free room.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.yarn.resources import Resource
+
+
+@dataclass(frozen=True)
+class Container:
+    """A granted allocation on one node."""
+
+    container_id: int
+    node_id: int
+    resource: Resource
+
+
+@dataclass
+class ContainerRequest:
+    """A pending container ask with its locality preferences."""
+
+    req_id: int
+    resource: Resource
+    preferred: tuple[int, ...]
+    preferred_racks: frozenset[int]
+    callback: Callable[[Container], None] = field(compare=False)
+
+
+class ResourceManager:
+    """Allocates containers on a simulated cluster."""
+
+    #: Default fraction of a node's RAM usable for containers (YARN's
+    #: ``yarn.nodemanager.resource.memory-mb`` convention: leave head-room
+    #: for the OS and the DataNode/NodeManager daemons).
+    MEMORY_FRACTION = 0.75
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._capacity: dict[int, Resource] = {}
+        self._available: dict[int, Resource] = {}
+        for node in cluster.nodes:
+            capacity = Resource(
+                memory_mb=int(node.spec.ram_bytes / 2**20 * self.MEMORY_FRACTION),
+                vcores=node.spec.cores,
+            )
+            self._capacity[node.node_id] = capacity
+            self._available[node.node_id] = capacity
+        self._queue: list[ContainerRequest] = []
+        self._ids = itertools.count()
+        self.containers_granted = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def capacity(self, node_id: int) -> Resource:
+        """Total container capacity of ``node_id``."""
+        return self._capacity[node_id]
+
+    def available(self, node_id: int) -> Resource:
+        """Currently unallocated resources on ``node_id``."""
+        return self._available[node_id]
+
+    def cluster_available(self) -> Resource:
+        """Unallocated resources summed over the cluster."""
+        total = Resource.zero()
+        for r in self._available.values():
+            total = total + r
+        return total
+
+    def can_fit_somewhere(self, resource: Resource) -> bool:
+        """True when some node could grant ``resource`` right now."""
+        return any(resource.fits_in(avail) for avail in self._available.values())
+
+    # -- allocation ---------------------------------------------------------
+
+    def request(
+        self,
+        resource: Resource,
+        callback: Callable[[Container], None],
+        preferred: Sequence[int] = (),
+    ) -> None:
+        """Ask for one container; ``callback(container)`` on grant."""
+        if not any(resource.fits_in(cap) for cap in self._capacity.values()):
+            raise ValueError(
+                f"request {resource} exceeds every node's capacity"
+            )
+        racks = frozenset(
+            self.cluster.topology.nodes[n].rack_id for n in preferred
+        )
+        req = ContainerRequest(
+            req_id=next(self._ids),
+            resource=resource,
+            preferred=tuple(preferred),
+            preferred_racks=racks,
+            callback=callback,
+        )
+        node = self._pick_node(req)
+        if node is None:
+            self._queue.append(req)
+            return
+        self._grant(req, node)
+
+    def try_allocate_on(self, node_id: int, resource: Resource) -> Container | None:
+        """Non-queuing allocation pinned to one node (reduce placement)."""
+        if resource.fits_in(self._available[node_id]):
+            container = Container(
+                container_id=next(self._ids), node_id=node_id, resource=resource
+            )
+            self._available[node_id] = self._available[node_id] - resource
+            self.containers_granted += 1
+            return container
+        return None
+
+    def release(self, container: Container) -> None:
+        """Return a container's resources and serve the queue."""
+        new_avail = self._available[container.node_id] + container.resource
+        if not new_avail.fits_in(self._capacity[container.node_id]):
+            raise RuntimeError(
+                f"container over-release on node {container.node_id}"
+            )
+        self._available[container.node_id] = new_avail
+        self._serve_queue(container.node_id)
+
+    # -- internals -----------------------------------------------------------
+
+    def _pick_node(self, req: ContainerRequest) -> int | None:
+        fitting = [
+            n for n, avail in self._available.items() if req.resource.fits_in(avail)
+        ]
+        if not fitting:
+            return None
+        local = [n for n in fitting if n in req.preferred]
+        if local:
+            return self._roomiest(local)
+        topo = self.cluster.topology
+        rack_local = [
+            n for n in fitting if topo.nodes[n].rack_id in req.preferred_racks
+        ]
+        if rack_local:
+            return self._roomiest(rack_local)
+        return self._roomiest(fitting)
+
+    def _roomiest(self, nodes: list[int]) -> int:
+        """Most available memory first; node id breaks ties."""
+        return min(nodes, key=lambda n: (-self._available[n].memory_mb, n))
+
+    def _serve_queue(self, node_id: int) -> None:
+        # Serve, in FIFO-with-locality order, every queued request that
+        # now fits on the releasing node.
+        while True:
+            chosen = None
+            for req in self._queue:
+                if not req.resource.fits_in(self._available[node_id]):
+                    continue
+                if node_id in req.preferred:
+                    chosen = req
+                    break
+            if chosen is None:
+                rack = self.cluster.topology.nodes[node_id].rack_id
+                for req in self._queue:
+                    if not req.resource.fits_in(self._available[node_id]):
+                        continue
+                    if rack in req.preferred_racks:
+                        chosen = req
+                        break
+            if chosen is None:
+                for req in self._queue:
+                    if req.resource.fits_in(self._available[node_id]):
+                        chosen = req
+                        break
+            if chosen is None:
+                return
+            self._queue.remove(chosen)
+            self._grant(chosen, node_id)
+
+    def _grant(self, req: ContainerRequest, node_id: int) -> None:
+        container = Container(
+            container_id=next(self._ids), node_id=node_id, resource=req.resource
+        )
+        self._available[node_id] = self._available[node_id] - req.resource
+        self.containers_granted += 1
+        req.callback(container)

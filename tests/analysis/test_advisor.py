@@ -1,0 +1,82 @@
+"""Tests for the partitioning advisor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.advisor import advise_graph, advise_linear
+from repro.apps.linsolve import LinearSolverProgram, diagonally_dominant_system
+from repro.apps.linsolve.datagen import system_records
+from repro.apps.pagerank import local_web_graph
+from repro.cluster.cluster import Cluster
+from repro.pic.engine import BestEffortEngine
+
+
+class TestLinearAdvice:
+    def test_more_partitions_cut_more_coupling(self):
+        """For a banded system, more contiguous partitions strictly cut
+        more coupling mass; rho (a spectral quantity) need not be
+        monotone instance-by-instance, but stays in the stable band."""
+        A, _b, _x = diagonally_dominant_system(60, dominance=1.1, seed=1)
+        advice = advise_linear(A, [2, 4, 10])
+        eps = [a.epsilon for a in advice]
+        assert eps == sorted(eps)
+        assert all(0.0 < a.rho_per_round < 1.0 for a in advice)
+        assert all(a.predicted_be_rounds >= 1 for a in advice)
+
+    def test_single_partition_converges_in_one_round(self):
+        A, _b, _x = diagonally_dominant_system(30, seed=2)
+        (advice,) = advise_linear(A, [1])
+        assert advice.predicted_be_rounds == 1
+        assert advice.epsilon == 0.0
+
+    def test_all_dominant_systems_converge(self):
+        A, _b, _x = diagonally_dominant_system(40, dominance=1.05, seed=3)
+        for a in advise_linear(A, [2, 4, 8]):
+            assert a.converges
+
+    def test_prediction_matches_measured_rounds(self):
+        """The closed-form round count tracks the engine's measured
+        best-effort rounds within a small factor."""
+        A, b, _x = diagonally_dominant_system(
+            60, bandwidth=2, dominance=1.1, seed=4
+        )
+        (advice,) = advise_linear(A, [4], tolerance=1e-6, initial_error=1.0)
+        prog = LinearSolverProgram(threshold=1e-6, overlap=0)
+        engine = BestEffortEngine(
+            Cluster(num_nodes=4, nodes_per_rack=4), prog,
+            num_partitions=4, be_max_iterations=200,
+        )
+        records = system_records(A, b)
+        result = engine.run(records, prog.initial_model(records))
+        assert advice.predicted_be_rounds / 3 <= result.be_iterations
+        assert result.be_iterations <= advice.predicted_be_rounds * 3
+
+    @pytest.mark.parametrize("bad", [[], [0], [999]])
+    def test_invalid_inputs(self, bad):
+        A, _b, _x = diagonally_dominant_system(20, seed=0)
+        with pytest.raises(ValueError):
+            advise_linear(A, bad)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            advise_linear(np.zeros((3, 4)), [2])
+
+
+class TestGraphAdvice:
+    def test_orders_by_cut_quality(self):
+        records = local_web_graph(2000, seed=5)
+        advice = advise_graph(records, 8, seed=3)
+        eps = [a.epsilon for a in advice]
+        assert eps == sorted(eps)
+        assert advice[-1].partitioner == "random"
+
+    def test_all_three_strategies_present(self):
+        records = local_web_graph(500, seed=1)
+        advice = advise_graph(records, 4)
+        assert {a.partitioner for a in advice} == {
+            "random", "contiguous", "mincut"
+        }
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            advise_graph([(0, (1,)), (1, (0,))], 0)

@@ -1,0 +1,102 @@
+"""Tests for the nearly-uncoupled structure measurements."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coupling import (
+    block_structure_report,
+    contiguous_assignment,
+    coupling_epsilon,
+    coupling_matrix,
+    graph_coupling_epsilon,
+)
+
+
+def block_diag_matrix(blocks=3, size=4, eps=0.0, seed=0):
+    """Dense blocks on the diagonal, eps everywhere else."""
+    n = blocks * size
+    rng = np.random.default_rng(seed)
+    A = np.full((n, n), eps)
+    for b in range(blocks):
+        lo = b * size
+        A[lo : lo + size, lo : lo + size] = rng.uniform(0.5, 1.0, (size, size))
+    return A
+
+
+class TestContiguousAssignment:
+    def test_even_split(self):
+        assert list(contiguous_assignment(6, 3)) == [0, 0, 1, 1, 2, 2]
+
+    def test_uneven_split_covers_all(self):
+        out = contiguous_assignment(10, 3)
+        assert len(out) == 10
+        assert set(out) == {0, 1, 2}
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            contiguous_assignment(0, 2)
+
+
+class TestCouplingMatrix:
+    def test_perfect_blocks_have_zero_off_diagonal(self):
+        A = block_diag_matrix(eps=0.0)
+        assign = contiguous_assignment(12, 3)
+        C = coupling_matrix(A, assign, 3)
+        off = C - np.diag(np.diag(C))
+        assert np.all(off == 0)
+        assert np.all(np.diag(C) > 0)
+
+    def test_own_diagonal_excluded(self):
+        A = np.eye(4) * 100  # only scaling entries
+        C = coupling_matrix(A, contiguous_assignment(4, 2), 2)
+        assert C.sum() == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            coupling_matrix(np.zeros((3, 4)), np.zeros(3, dtype=int), 2)
+        with pytest.raises(ValueError):
+            coupling_matrix(np.zeros((3, 3)), np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            coupling_matrix(np.zeros((3, 3)), np.array([0, 0, 5]), 2)
+
+
+class TestEpsilon:
+    def test_zero_for_decoupled(self):
+        A = block_diag_matrix(eps=0.0)
+        assert coupling_epsilon(A, contiguous_assignment(12, 3), 3) == 0.0
+
+    def test_grows_with_cross_coupling(self):
+        assign = contiguous_assignment(12, 3)
+        weak = coupling_epsilon(block_diag_matrix(eps=0.01), assign, 3)
+        strong = coupling_epsilon(block_diag_matrix(eps=0.2), assign, 3)
+        assert 0 < weak < strong < 1
+
+    def test_bad_partition_has_high_epsilon(self):
+        A = block_diag_matrix(eps=0.0)
+        good = contiguous_assignment(12, 3)
+        bad = np.arange(12) % 3  # interleaved: splits every block
+        assert coupling_epsilon(A, bad, 3) > coupling_epsilon(A, good, 3)
+
+    def test_all_zero_matrix(self):
+        assert coupling_epsilon(np.zeros((6, 6)), contiguous_assignment(6, 2), 2) == 0.0
+
+
+class TestReport:
+    def test_worst_pair_identified(self):
+        A = block_diag_matrix(eps=0.0)
+        A[0, 11] = 5.0  # strong coupling block 0 -> block 2
+        report = block_structure_report(A, contiguous_assignment(12, 3), 3)
+        assert report.worst_pair == (0, 2)
+        assert report.worst_pair_mass == pytest.approx(5.0)
+        assert report.block_masses.shape == (3, 3)
+
+
+class TestGraphEpsilon:
+    def test_ring_graph(self):
+        records = [(v, ((v + 1) % 8,)) for v in range(8)]
+        assignment = {v: v // 4 for v in range(8)}
+        # Exactly two edges cross: 3->4 and 7->0.
+        assert graph_coupling_epsilon(records, assignment) == pytest.approx(2 / 8)
+
+    def test_empty_graph(self):
+        assert graph_coupling_epsilon([], {}) == 0.0

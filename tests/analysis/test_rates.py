@@ -1,0 +1,102 @@
+"""Tests for convergence-rate tools."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.rates import (
+    best_effort_rate_scaling,
+    contraction_factor,
+    iterations_to_tolerance,
+    spectral_radius,
+)
+
+
+class TestSpectralRadius:
+    def test_diagonal_matrix(self):
+        assert spectral_radius(np.diag([0.5, -0.9, 0.1])) == pytest.approx(0.9)
+
+    def test_rotation_has_radius_one(self):
+        theta = 0.3
+        R = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        assert spectral_radius(R) == pytest.approx(1.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            spectral_radius(np.zeros((2, 3)))
+
+
+class TestContractionFactor:
+    def test_geometric_trace_recovered(self):
+        trace = [1.0 * 0.7**i for i in range(10)]
+        assert contraction_factor(trace) == pytest.approx(0.7)
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            contraction_factor([1.0])
+
+    def test_diverging_trace_above_one(self):
+        trace = [1.0 * 1.3**i for i in range(6)]
+        assert contraction_factor(trace) > 1.0
+
+    def test_zero_trace_is_zero(self):
+        assert contraction_factor([0.0, 0.0, 0.0]) == 0.0
+
+    @given(st.floats(min_value=0.05, max_value=0.95), st.integers(5, 20))
+    def test_recovers_any_geometric_rate(self, rho, length):
+        trace = [rho**i for i in range(length)]
+        assert contraction_factor(trace) == pytest.approx(rho, rel=1e-6)
+
+
+class TestBestEffortScaling:
+    def test_paper_formula(self):
+        # (omega * beta/alpha)^((k-1)/k)
+        assert best_effort_rate_scaling(0.9, 0.5, 10) == pytest.approx(
+            (0.9 * 0.5) ** (9 / 10)
+        )
+
+    def test_single_local_iteration_is_one(self):
+        assert best_effort_rate_scaling(0.9, 0.25, 1) == pytest.approx(1.0)
+
+    def test_more_partitions_smaller_factor(self):
+        few = best_effort_rate_scaling(0.9, 1 / 4, 10)
+        many = best_effort_rate_scaling(0.9, 1 / 16, 10)
+        assert many < few
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"omega": 0, "beta_over_alpha": 0.5, "local_iterations": 2},
+            {"omega": 1, "beta_over_alpha": 0.0, "local_iterations": 2},
+            {"omega": 1, "beta_over_alpha": 1.5, "local_iterations": 2},
+            {"omega": 1, "beta_over_alpha": 0.5, "local_iterations": 0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            best_effort_rate_scaling(**kw)
+
+
+class TestIterationsToTolerance:
+    def test_exact_count(self):
+        # 0.5^k from 1.0 to <= 1e-3: k = 10
+        assert iterations_to_tolerance(0.5, 1.0, 1e-3) == 10
+
+    def test_already_converged(self):
+        assert iterations_to_tolerance(0.5, 1e-6, 1e-3) == 0
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            iterations_to_tolerance(1.0, 1.0, 0.1)
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=1e-6, max_value=1e-2),
+    )
+    def test_returned_count_is_sufficient(self, rho, tol):
+        k = iterations_to_tolerance(rho, 1.0, tol)
+        assert rho**k <= tol * (1 + 1e-9)
+        if k > 0:
+            assert rho ** (k - 1) > tol

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.events import Simulation
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulation().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulation()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulation()
+        sim.schedule(5.5, lambda: None)
+        sim.run()
+        assert sim.now == 5.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulation()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulation()
+        ran = []
+        event = sim.schedule(1.0, lambda: ran.append(1))
+        event.cancel()
+        sim.run()
+        assert ran == []
+
+    def test_cancelled_event_not_counted(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 2.0
+
+
+class TestRunControl:
+    def test_step_returns_false_when_empty(self):
+        assert Simulation().step() is False
+
+    def test_run_until_stops_at_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run_until(3.0)
+        assert seen == [1]
+        assert sim.now == 3.0
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulation()
+        sim.run_until(2.0)
+        with pytest.raises(ValueError):
+            sim.run_until(1.0)
+
+    def test_run_until_includes_boundary(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(3.0, lambda: seen.append(1))
+        sim.run_until(3.0)
+        assert seen == [1]
+
+    def test_max_events_guard(self):
+        sim = Simulation()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(RuntimeError, match="did not quiesce"):
+            sim.run(max_events=100)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_clock_is_monotone(self, delays):
+        sim = Simulation()
+        times = []
+        for d in delays:
+            sim.schedule(d, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert sim.now == max(delays)

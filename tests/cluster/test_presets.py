@@ -1,0 +1,69 @@
+"""Tests that the presets match the paper's Section V-A testbeds."""
+
+import pytest
+
+from repro.cluster.presets import large_cluster, medium_cluster, small_cluster
+
+
+class TestSmall:
+    def test_six_nodes_one_rack(self):
+        c = small_cluster()
+        assert c.num_nodes == 6
+        assert c.topology.num_racks == 1
+
+    def test_24_map_24_reduce_slots(self):
+        c = small_cluster()
+        assert c.topology.total_map_slots() == 24
+        assert c.topology.total_reduce_slots() == 24
+
+    def test_48gb_ram(self):
+        assert small_cluster().nodes[0].spec.ram_bytes == 48 * 2**30
+
+
+class TestMedium:
+    def test_64_nodes_6_racks(self):
+        c = medium_cluster()
+        assert c.num_nodes == 64
+        assert c.topology.num_racks == 6
+
+    def test_slot_counts_near_paper(self):
+        c = medium_cluster()
+        # Paper: 330 map / 110 reduce; nearest uniform config is 5+2/node.
+        assert c.topology.total_map_slots() == 320
+        assert c.topology.total_reduce_slots() == 128
+
+    def test_e5430_speed_ratio(self):
+        assert medium_cluster().nodes[0].spec.cpu_speed == pytest.approx(2.66 / 2.27)
+
+    def test_oversubscribed_uplink(self):
+        c = medium_cluster()
+        agg = c.topology.nodes_per_rack * c.topology.edge_bandwidth
+        assert c.topology.rack_uplink_bandwidth < agg
+
+
+class TestLarge:
+    def test_default_256(self):
+        assert large_cluster().num_nodes == 256
+
+    @pytest.mark.parametrize("n", [64, 128, 192, 256])
+    def test_figure11_sizes(self, n):
+        c = large_cluster(n)
+        assert c.num_nodes == n
+        assert c.nodes[0].spec.ram_bytes == 15 * 2**30
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            large_cluster(0)
+
+    def test_racks_of_16(self):
+        assert large_cluster(64).topology.num_racks == 4
+
+
+class TestIsolation:
+    def test_fresh_clusters_do_not_share_state(self):
+        a = small_cluster()
+        b = small_cluster()
+        a.transfer(0, 1, 100, "t")
+        a.run()
+        assert b.meter.total("t") == 0
+        assert b.now == 0.0

@@ -1,0 +1,124 @@
+"""Tests for the DFS data plane (pipelines and reads)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.dfs.dfs import DistributedFileSystem
+
+
+def make(num_nodes=8, nodes_per_rack=4, replication=3, **kw):
+    cluster = Cluster(num_nodes=num_nodes, nodes_per_rack=nodes_per_rack)
+    return cluster, DistributedFileSystem(cluster, replication=replication, **kw)
+
+
+class TestWrite:
+    def test_pipeline_fabric_bytes(self):
+        cluster, dfs = make()
+        dfs.write("/f", 1000, writer_node=0, category="dfs_write")
+        cluster.run()
+        # 3 replicas: writer's local copy is off-fabric, 2 pipeline hops on it.
+        assert cluster.meter.fabric("dfs_write") == 2000
+        assert cluster.meter.total("dfs_write") == 3000
+
+    def test_completion_callback_fires_once(self):
+        cluster, dfs = make()
+        done = []
+        dfs.write("/f", 1000, writer_node=0, on_complete=lambda m: done.append(m))
+        cluster.run()
+        assert len(done) == 1
+        assert done[0].path == "/f"
+
+    def test_zero_byte_write_completes(self):
+        cluster, dfs = make()
+        done = []
+        dfs.write("/f", 0, writer_node=0, on_complete=lambda m: done.append(m))
+        cluster.run()
+        assert len(done) == 1
+
+    def test_replication_override(self):
+        cluster, dfs = make()
+        dfs.write("/f", 1000, writer_node=0, category="w", replication=1)
+        cluster.run()
+        assert cluster.meter.fabric("w") == 0
+        assert cluster.meter.total("w") == 1000
+
+    def test_write_takes_time(self):
+        cluster, dfs = make()
+        dfs.write("/f", 100 * 2**20, writer_node=0)
+        cluster.run()
+        assert cluster.now > 0
+
+    def test_overwrite_replaces(self):
+        cluster, dfs = make()
+        dfs.write("/f", 100, writer_node=0)
+        cluster.run()
+        dfs.overwrite("/f", 200, writer_node=1)
+        cluster.run()
+        assert dfs.namenode.lookup("/f").nbytes == 200
+
+    def test_overwrite_creates_when_missing(self):
+        cluster, dfs = make()
+        dfs.overwrite("/f", 100, writer_node=0)
+        cluster.run()
+        assert dfs.namenode.exists("/f")
+
+
+class TestRead:
+    def test_local_read_off_fabric(self):
+        cluster, dfs = make()
+        dfs.write("/f", 1000, writer_node=2)
+        cluster.run()
+        snap = cluster.meter.snapshot()
+        dfs.read("/f", reader_node=2, category="dfs_read")
+        cluster.run()
+        delta = cluster.meter.diff(snap)
+        assert delta["dfs_read"]["total_bytes"] == 1000
+        assert delta["dfs_read"]["fabric_bytes"] == 0
+
+    def test_remote_read_on_fabric(self):
+        cluster, dfs = make(num_nodes=8, nodes_per_rack=4, replication=1)
+        dfs.write("/f", 1000, writer_node=0)
+        cluster.run()
+        dfs.read("/f", reader_node=5, category="dfs_read")
+        cluster.run()
+        assert cluster.meter.fabric("dfs_read") == 1000
+
+    def test_read_completion_callback(self):
+        cluster, dfs = make()
+        dfs.write("/f", 500, writer_node=0)
+        cluster.run()
+        done = []
+        dfs.read("/f", reader_node=1, on_complete=lambda m: done.append(m))
+        cluster.run()
+        assert len(done) == 1
+
+    def test_read_block_single(self):
+        cluster, dfs = make(block_size=100)
+        dfs.write("/f", 250, writer_node=0)
+        cluster.run()
+        snap = cluster.meter.snapshot()
+        dfs.read_block("/f", 2, reader_node=0, category="dfs_read")
+        cluster.run()
+        assert cluster.meter.diff(snap)["dfs_read"]["total_bytes"] == 50
+
+    def test_read_block_out_of_range(self):
+        cluster, dfs = make()
+        dfs.write("/f", 100, writer_node=0)
+        cluster.run()
+        with pytest.raises(IndexError):
+            dfs.read_block("/f", 5, reader_node=0)
+
+    def test_read_missing_raises(self):
+        cluster, dfs = make()
+        with pytest.raises(FileNotFoundError):
+            dfs.read("/nope", reader_node=0)
+
+
+class TestBlockLocations:
+    def test_locations_shape(self):
+        cluster, dfs = make(block_size=100)
+        dfs.write("/f", 250, writer_node=0)
+        cluster.run()
+        locs = dfs.block_locations("/f")
+        assert len(locs) == 3
+        assert all(len(replicas) == 3 for replicas in locs)

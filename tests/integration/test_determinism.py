@@ -1,0 +1,72 @@
+"""Whole-stack determinism: identical runs produce identical numbers.
+
+EXPERIMENTS.md promises bit-for-bit reproducibility; these tests pin it
+for a representative slice of each application.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansProgram, gaussian_mixture
+from repro.apps.pagerank import PageRankProgram, local_web_graph
+from repro.cluster.presets import small_cluster
+from repro.harness import compare_ic_pic
+from repro.pic.runner import PICRunner
+
+
+def kmeans_setup():
+    records, _ = gaussian_mixture(4000, 4, dim=2, separation=8.0, seed=1)
+    prog = KMeansProgram(k=4, dim=2, threshold=0.05)
+    return records, prog, prog.initial_model(records, seed=2)
+
+
+class TestDeterminism:
+    def test_kmeans_full_comparison_reproducible(self):
+        records, prog, model0 = kmeans_setup()
+
+        def run():
+            return compare_ic_pic(
+                small_cluster, prog, records, model0, num_partitions=6
+            )
+
+        a, b = run(), run()
+        assert a.ic_time == b.ic_time
+        assert a.pic_time == b.pic_time
+        assert a.speedup == b.speedup
+        for key in a.ic.model:
+            assert np.array_equal(a.ic.model[key], b.ic.model[key])
+        assert a.ic_traffic == b.ic_traffic
+        assert a.pic.traffic == b.pic.traffic
+
+    def test_pagerank_trace_reproducible(self):
+        records = local_web_graph(1500, seed=5)
+        prog = PageRankProgram()
+        model0 = prog.initial_model(records)
+
+        def run():
+            return PICRunner(
+                small_cluster(), prog, num_partitions=6, seed=3
+            ).run(records, initial_model=dict(model0))
+
+        a, b = run(), run()
+        assert a.total_time == b.total_time
+        assert a.best_effort.local_iterations_by_round == (
+            b.best_effort.local_iterations_by_round
+        )
+        ra = prog.rank_vector(a.model, 1500)
+        rb = prog.rank_vector(b.model, 1500)
+        assert np.array_equal(ra, rb)
+
+    def test_event_counts_reproducible(self):
+        """Even the simulator's internal event count is stable — no
+        hidden iteration-order or hash-seed dependence."""
+        records, prog, model0 = kmeans_setup()
+
+        def run():
+            cluster = small_cluster()
+            PICRunner(cluster, prog, num_partitions=6, seed=3).run(
+                records, initial_model={k: v.copy() for k, v in model0.items()}
+            )
+            return cluster.sim.events_processed
+
+        assert run() == run()

@@ -1,0 +1,169 @@
+"""End-to-end integration: every application through IC and PIC.
+
+Sizes are kept small so the whole suite stays fast; the paper-scale
+shapes are exercised by the benchmark harness instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansProgram, gaussian_mixture, jagota_index, lloyd
+from repro.apps.linsolve import LinearSolverProgram, diagonally_dominant_system
+from repro.apps.linsolve.datagen import system_records
+from repro.apps.neuralnet import MLP, NeuralNetProgram, ocr_dataset
+from repro.apps.pagerank import PageRankProgram, local_web_graph, nutch_pagerank
+from repro.apps.smoothing import (
+    ImageSmoothingProgram,
+    smooth_reference,
+    synthetic_image,
+)
+from repro.apps.smoothing.datagen import image_records
+from repro.cluster.presets import small_cluster
+from repro.pic.runner import PICRunner, run_ic_baseline
+
+
+class TestKMeans:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        records, _ = gaussian_mixture(6000, 5, dim=3, separation=8.0, seed=1)
+        prog = KMeansProgram(k=5, dim=3, threshold=0.05)
+        model0 = prog.initial_model(records, seed=2)
+        return records, prog, model0
+
+    def test_cluster_ic_equals_serial_lloyd(self, setup):
+        """The MapReduce realisation is numerically the serial algorithm."""
+        records, prog, model0 = setup
+        ic = run_ic_baseline(small_cluster(), prog, records, initial_model=dict(model0))
+        points = np.stack([v for _k, v in records])
+        ref = lloyd(points, 5, threshold=0.05,
+                    initial=prog.centroid_array(model0))
+        assert np.allclose(prog.centroid_array(ic.model), ref.centroids)
+        assert ic.iterations == ref.iterations
+
+    def test_pic_quality_within_percent(self, setup):
+        records, prog, model0 = setup
+        ic = run_ic_baseline(small_cluster(), prog, records, initial_model=dict(model0))
+        pic = PICRunner(small_cluster(), prog, num_partitions=6, seed=3).run(
+            records, initial_model=dict(model0)
+        )
+        points = np.stack([v for _k, v in records])
+        q_ic = jagota_index(points, prog.centroid_array(ic.model))
+        q_pic = jagota_index(points, prog.centroid_array(pic.model))
+        assert abs(q_pic - q_ic) / q_ic < 0.03  # Table III band
+
+    def test_pic_reduces_traffic_per_round(self, setup):
+        """Table II's mechanism: a best-effort round moves only
+        sub-models; an IC iteration moves per-point intermediate data."""
+        records, prog, model0 = setup
+        ic_cluster = small_cluster()
+        ic = run_ic_baseline(ic_cluster, prog, records, initial_model=dict(model0))
+        pic_cluster = small_cluster()
+        pic = PICRunner(pic_cluster, prog, num_partitions=6, seed=3).run(
+            records, initial_model=dict(model0)
+        )
+        ic_shuffle_per_iter = ic_cluster.meter.total("shuffle") / ic.iterations
+        be_shuffle_per_round = pic.phases[0].shuffle_bytes / pic.be_iterations
+        assert be_shuffle_per_round < ic_shuffle_per_iter / 3
+        # The intermediate-data (raw mapper output) gap is the dramatic
+        # one: per-point records vs a handful of centroids.
+        ic_raw_per_iter = sum(
+            jr.map_output_bytes_raw for t in ic.traces for jr in t.job_results
+        ) / ic.iterations
+        assert pic.phases[0].shuffle_bytes < ic_raw_per_iter / 10
+
+
+class TestPageRank:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        records = local_web_graph(2000, avg_out_degree=6, seed=5)
+        prog = PageRankProgram()
+        return records, prog, prog.initial_model(records)
+
+    def test_cluster_ic_equals_serial_nutch(self, setup):
+        records, prog, model0 = setup
+        ic = run_ic_baseline(small_cluster(), prog, records, initial_model=dict(model0))
+        ours = prog.rank_vector(ic.model, len(records))
+        assert np.allclose(ours, nutch_pagerank(records), atol=1e-9)
+
+    def test_pic_rank_quality(self, setup):
+        records, prog, model0 = setup
+        pic = PICRunner(small_cluster(), prog, num_partitions=6, seed=3).run(
+            records, initial_model=dict(model0)
+        )
+        ranks = prog.rank_vector(pic.model, len(records))
+        reference = nutch_pagerank(records)
+        rel_l1 = np.abs(ranks - reference).sum() / reference.sum()
+        assert rel_l1 < 0.15
+        top_ref = set(np.argsort(reference)[-50:])
+        top_pic = set(np.argsort(ranks)[-50:])
+        assert len(top_ref & top_pic) >= 40
+
+
+class TestLinearSolver:
+    def test_both_paths_reach_golden_solution(self):
+        A, b, x_star = diagonally_dominant_system(
+            80, bandwidth=2, dominance=1.1, seed=11
+        )
+        records = system_records(A, b)
+        prog = LinearSolverProgram(threshold=1e-6)
+        model0 = prog.initial_model(records)
+        ic = run_ic_baseline(
+            small_cluster(), prog, records, initial_model=dict(model0),
+            max_iterations=1000,
+        )
+        pic = PICRunner(
+            small_cluster(), prog, num_partitions=6, seed=3, be_max_iterations=60
+        ).run(records, initial_model=dict(model0))
+        assert np.linalg.norm(prog.solution_vector(ic.model, 80) - x_star) < 1e-4
+        assert np.linalg.norm(prog.solution_vector(pic.model, 80) - x_star) < 1e-4
+
+    def test_pic_needs_fewer_global_syncs(self):
+        A, b, _x = diagonally_dominant_system(80, bandwidth=2, dominance=1.1, seed=11)
+        records = system_records(A, b)
+        prog = LinearSolverProgram(threshold=1e-6)
+        model0 = prog.initial_model(records)
+        ic = run_ic_baseline(
+            small_cluster(), prog, records, initial_model=dict(model0),
+            max_iterations=1000,
+        )
+        pic = PICRunner(
+            small_cluster(), prog, num_partitions=6, seed=3, be_max_iterations=60
+        ).run(records, initial_model=dict(model0))
+        global_syncs = pic.be_iterations + pic.topoff_iterations
+        assert global_syncs < ic.iterations
+
+
+class TestImageSmoothing:
+    def test_both_paths_match_golden(self):
+        img = synthetic_image(48, 48, seed=13)
+        records = image_records(img)
+        prog = ImageSmoothingProgram(48, 48, threshold=1e-4)
+        model0 = prog.initial_model(records)
+        golden = smooth_reference(img)
+        ic = run_ic_baseline(
+            small_cluster(), prog, records,
+            initial_model={k: v.copy() for k, v in model0.items()},
+        )
+        pic = PICRunner(small_cluster(), prog, num_partitions=6, seed=3).run(
+            records, initial_model={k: v.copy() for k, v in model0.items()}
+        )
+        assert np.abs(prog.image_array(ic.model) - golden).max() < 1e-3
+        assert np.abs(prog.image_array(pic.model) - golden).max() < 1e-3
+
+
+class TestNeuralNet:
+    def test_pic_matches_ic_error(self):
+        records, X, y = ocr_dataset(4200, seed=7)
+        train, Xv, yv = records[:4000], X[4000:], y[4000:]
+        prog = NeuralNetProgram(MLP(64, 32, 10), validation=(Xv, yv))
+        model0 = prog.initial_model(train, seed=9)
+        ic = run_ic_baseline(
+            small_cluster(), prog, train,
+            initial_model={k: v.copy() for k, v in model0.items()},
+        )
+        pic = PICRunner(small_cluster(), prog, num_partitions=6, seed=3).run(
+            train, initial_model={k: v.copy() for k, v in model0.items()}
+        )
+        err_ic = prog.validation_error(ic.model, Xv, yv)
+        err_pic = prog.validation_error(pic.model, Xv, yv)
+        assert err_pic <= err_ic + 0.05

@@ -1,0 +1,35 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+(The heavier examples — quickstart, pagerank_webgraph, neural_net_ocr,
+image_smoothing — exercise the same code paths as the benchmarks and
+are exercised there; these three finish in seconds.)
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_linear_solver(self, capsys):
+        out = run_example("linear_solver.py", capsys)
+        assert "Jacobi spectral radius" in out
+        assert "speedup" in out
+
+    def test_pic_on_yarn(self, capsys):
+        out = run_example("pic_on_yarn.py", capsys)
+        assert "ResourceManager view" in out
+        assert "containers granted" in out
+
+    def test_partition_advisor(self, capsys):
+        out = run_example("partition_advisor.py", capsys)
+        assert "predicted BE rounds" in out
+        assert "partitioner comparison" in out.lower() or "partitioner" in out

@@ -1,0 +1,80 @@
+"""Tests for the error-vs-time tracing instrumentation."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.harness.tracing import trace_ic, trace_pic
+from tests.pic.toy import MeanProgram
+
+RECORDS = [(i, float(i)) for i in range(40)]  # mean 19.5
+
+
+def error_fn(model):
+    return abs(model["mean"] - 19.5)
+
+
+def make_cluster():
+    return Cluster(num_nodes=4, nodes_per_rack=4)
+
+
+class TestTraceIC:
+    def test_curve_has_one_point_per_iteration(self):
+        result, curve = trace_ic(
+            make_cluster(), MeanProgram(), RECORDS, {"mean": 0.0}, error_fn
+        )
+        # initial point + one per convergence check
+        assert len(curve) == result.iterations + 1
+
+    def test_curve_times_monotone(self):
+        _result, curve = trace_ic(
+            make_cluster(), MeanProgram(), RECORDS, {"mean": 0.0}, error_fn
+        )
+        times = [t for t, _e in curve]
+        assert times == sorted(times)
+
+    def test_error_decreases(self):
+        _result, curve = trace_ic(
+            make_cluster(), MeanProgram(), RECORDS, {"mean": 0.0}, error_fn
+        )
+        assert curve[-1][1] < curve[0][1]
+
+    def test_program_method_restored(self):
+        prog = MeanProgram()
+        original = prog.converged
+        trace_ic(make_cluster(), prog, RECORDS, {"mean": 0.0}, error_fn)
+        assert prog.converged == original
+
+    def test_initial_model_not_mutated(self):
+        model = {"mean": 0.0}
+        trace_ic(make_cluster(), MeanProgram(), RECORDS, model, error_fn)
+        assert model == {"mean": 0.0}
+
+
+class TestTracePIC:
+    def test_two_phase_curves(self):
+        result, be_curve, topoff_curve = trace_pic(
+            make_cluster(), MeanProgram(), RECORDS, {"mean": 0.0}, error_fn,
+            num_partitions=4,
+        )
+        assert len(be_curve) == result.be_iterations + 1
+        assert len(topoff_curve) == result.topoff_iterations
+
+    def test_topoff_follows_best_effort_in_time(self):
+        _result, be_curve, topoff_curve = trace_pic(
+            make_cluster(), MeanProgram(), RECORDS, {"mean": 0.0}, error_fn,
+            num_partitions=4,
+        )
+        assert topoff_curve[0][0] >= be_curve[-1][0]
+
+    def test_tracing_does_not_change_outcome(self):
+        from repro.pic.runner import PICRunner
+
+        plain = PICRunner(
+            make_cluster(), MeanProgram(), num_partitions=4, seed=3
+        ).run(RECORDS, initial_model={"mean": 0.0})
+        traced, _be, _to = trace_pic(
+            make_cluster(), MeanProgram(), RECORDS, {"mean": 0.0}, error_fn,
+            num_partitions=4, seed=3,
+        )
+        assert traced.model["mean"] == pytest.approx(plain.model["mean"])
+        assert traced.total_time == pytest.approx(plain.total_time)

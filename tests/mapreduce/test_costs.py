@@ -1,0 +1,66 @@
+"""Tests for compute cost hints."""
+
+import pytest
+
+from repro.mapreduce.costs import CostHints
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"map_seconds_per_record": -1},
+            {"reduce_seconds_per_record": -1},
+            {"sort_seconds_per_record": -1},
+            {"task_overhead_seconds": -1},
+            {"job_overhead_seconds": -1},
+            {"inmemory_seconds_per_record": -1},
+        ],
+    )
+    def test_negative_rejected(self, kw):
+        with pytest.raises(ValueError):
+            CostHints(**kw)
+
+
+class TestComputation:
+    def test_map_compute(self):
+        hints = CostHints(map_seconds_per_record=2e-6, map_seconds_per_byte=1e-9)
+        assert hints.map_compute(1000, 1_000_000) == pytest.approx(0.003)
+
+    def test_reduce_compute_includes_sort(self):
+        hints = CostHints(reduce_seconds_per_record=1e-6, sort_seconds_per_record=5e-7)
+        assert hints.reduce_compute(1000) == pytest.approx(0.0015)
+
+    def test_inmemory_default_ratio(self):
+        hints = CostHints(map_seconds_per_record=1e-5)
+        assert hints.inmemory_per_record == pytest.approx(1e-6)
+        assert hints.inmemory_compute(100) == pytest.approx(1e-4)
+
+    def test_inmemory_explicit_override(self):
+        hints = CostHints(map_seconds_per_record=1e-5, inmemory_seconds_per_record=3e-6)
+        assert hints.inmemory_per_record == 3e-6
+
+    def test_inmemory_cheaper_than_pipeline(self):
+        hints = CostHints()
+        assert hints.inmemory_per_record < hints.map_seconds_per_record
+
+
+class TestWithoutOverheads:
+    def test_zeroes_only_overheads(self):
+        hints = CostHints(
+            map_seconds_per_record=2e-6,
+            task_overhead_seconds=0.5,
+            job_overhead_seconds=5.0,
+        )
+        stripped = hints.without_overheads()
+        assert stripped.task_overhead_seconds == 0.0
+        assert stripped.job_overhead_seconds == 0.0
+        assert stripped.map_seconds_per_record == 2e-6
+
+    def test_preserves_inmemory_override(self):
+        hints = CostHints(inmemory_seconds_per_record=7e-7)
+        assert hints.without_overheads().inmemory_seconds_per_record == 7e-7
+
+    def test_idempotent(self):
+        stripped = CostHints().without_overheads()
+        assert stripped.without_overheads() == stripped

@@ -1,0 +1,177 @@
+"""Tests for the iterative driver (Figure 1(a) template)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.dfs.dfs import DistributedFileSystem
+from repro.mapreduce.costs import CostHints
+from repro.mapreduce.driver import IterativeDriver
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.records import DistributedDataset
+from repro.mapreduce.runner import JobRunner
+
+# A toy IC computation with a known fixed point: the model is a scalar
+# mean estimate; each iteration averages the records and moves the model
+# halfway toward that mean.  Converges geometrically to the data mean.
+
+
+def make_env(values=None, num_splits=4):
+    cluster = Cluster(num_nodes=4, nodes_per_rack=4)
+    dfs = DistributedFileSystem(cluster)
+    if values is None:
+        values = [float(i) for i in range(40)]
+    records = [(i, v) for i, v in enumerate(values)]
+    dataset = DistributedDataset.materialize(dfs, "/in", records, num_splits)
+    return cluster, JobRunner(cluster, dfs), dataset
+
+
+def mean_job(model) -> JobSpec:
+    def mapper(ctx, key, value):
+        ctx.emit(0, (value, 1))
+
+    def reducer(ctx, key, values):
+        total = sum(v for v, _n in values)
+        count = sum(n for _v, n in values)
+        target = total / count
+        ctx.emit("mean", (ctx.model["mean"] + target) / 2.0)
+
+    return JobSpec(name="mean", mapper=mapper, reducer=reducer, num_reducers=1)
+
+
+def build_model(model, output):
+    new = dict(model)
+    for k, v in output:
+        new[k] = v
+    return new
+
+
+def close_enough(prev, cur, it):
+    return abs(cur["mean"] - prev["mean"]) < 1e-6
+
+
+def make_driver(runner, dataset, **kw):
+    defaults = dict(
+        jobs=lambda model, it: [mean_job(model)],
+        build_model=build_model,
+        converged=close_enough,
+        model_sizer=lambda m: 16,
+        max_iterations=100,
+    )
+    defaults.update(kw)
+    return IterativeDriver(runner, dataset, **defaults)
+
+
+class TestConvergence:
+    def test_converges_to_data_mean(self):
+        _c, runner, dataset = make_env()
+        driver = make_driver(runner, dataset)
+        result = driver.run({"mean": 0.0})
+        assert result.model["mean"] == pytest.approx(19.5, abs=1e-4)
+
+    def test_iteration_count_matches_geometric_rate(self):
+        _c, runner, dataset = make_env()
+        result = make_driver(runner, dataset).run({"mean": 0.0})
+        # halving each step from ~19.5 to <1e-6 takes ~25 steps
+        assert 20 <= result.iterations <= 30
+
+    def test_max_iterations_cap(self):
+        _c, runner, dataset = make_env()
+        driver = make_driver(runner, dataset, max_iterations=3)
+        result = driver.run({"mean": 0.0})
+        assert result.iterations == 3
+
+    def test_zero_max_iterations_rejected(self):
+        _c, runner, dataset = make_env()
+        with pytest.raises(ValueError):
+            make_driver(runner, dataset, max_iterations=0)
+
+    def test_empty_job_chain_rejected(self):
+        _c, runner, dataset = make_env()
+        driver = make_driver(runner, dataset, jobs=lambda m, i: [])
+        with pytest.raises(ValueError, match="empty chain"):
+            driver.run({"mean": 0.0})
+
+
+class TestTraces:
+    def test_per_iteration_traces(self):
+        _c, runner, dataset = make_env()
+        result = make_driver(runner, dataset, max_iterations=5).run({"mean": 0.0})
+        assert len(result.traces) == 5
+        for trace in result.traces:
+            assert trace.duration > 0
+            assert trace.shuffle_bytes > 0
+            assert trace.model_update_bytes > 0
+
+    def test_totals_are_sums(self):
+        _c, runner, dataset = make_env()
+        result = make_driver(runner, dataset, max_iterations=4).run({"mean": 0.0})
+        assert result.total_shuffle_bytes == sum(
+            t.shuffle_bytes for t in result.traces
+        )
+
+    def test_total_time_spans_iterations(self):
+        cluster, runner, dataset = make_env()
+        result = make_driver(runner, dataset, max_iterations=4).run({"mean": 0.0})
+        assert result.total_time == pytest.approx(cluster.now)
+
+
+class TestOptimizedBaseline:
+    def test_input_read_once_when_optimized(self):
+        cluster, runner, dataset = make_env()
+        make_driver(runner, dataset, max_iterations=5).run({"mean": 0.0})
+        assert cluster.meter.total("input") == pytest.approx(dataset.nbytes)
+
+    def test_input_read_every_iteration_when_not(self):
+        cluster, runner, dataset = make_env()
+        driver = make_driver(
+            runner, dataset, max_iterations=5, optimized_baseline=False
+        )
+        driver.run({"mean": 0.0})
+        assert cluster.meter.total("input") == pytest.approx(5 * dataset.nbytes)
+
+    def test_job_overhead_stripped_when_optimized(self):
+        def slow_jobs(model, it):
+            job = mean_job(model)
+            return [
+                JobSpec(
+                    name=job.name, mapper=job.mapper, reducer=job.reducer,
+                    num_reducers=1, costs=CostHints(job_overhead_seconds=50.0),
+                )
+            ]
+
+        _c, runner, dataset = make_env()
+        fast = make_driver(runner, dataset, jobs=slow_jobs, max_iterations=2)
+        result = fast.run({"mean": 0.0})
+        assert result.total_time < 50.0
+
+    def test_input_already_cached_flag(self):
+        cluster, runner, dataset = make_env()
+        driver = make_driver(
+            runner, dataset, max_iterations=3, input_already_cached=True
+        )
+        driver.run({"mean": 0.0})
+        assert cluster.meter.total("input") == 0
+
+
+class TestChainedJobs:
+    def test_two_jobs_per_iteration(self):
+        # First job computes the mean; second adds 1 to it.
+        def jobs(model, it):
+            def bump_mapper(ctx, key, value):
+                ctx.emit(0, 0)
+
+            def bump_reducer(ctx, key, values):
+                ctx.emit("mean", ctx.model["mean"] + 1.0)
+
+            return [
+                mean_job(model),
+                JobSpec(name="bump", mapper=bump_mapper, reducer=bump_reducer,
+                        num_reducers=1),
+            ]
+
+        _c, runner, dataset = make_env()
+        driver = make_driver(runner, dataset, jobs=jobs, max_iterations=1)
+        result = driver.run({"mean": 0.0})
+        # mean job: (0 + 19.5)/2 = 9.75, bump job: +1
+        assert result.model["mean"] == pytest.approx(10.75)
+        assert len(result.traces[0].job_results) == 2

@@ -1,0 +1,90 @@
+"""Failure injection: Hadoop-style task retry (paper Section VII)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.dfs.dfs import DistributedFileSystem
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.records import DistributedDataset
+from repro.mapreduce.runner import JobRunner
+from repro.pic.engine import BestEffortEngine
+from tests.pic.toy import MeanProgram
+
+
+def make_env(num_nodes=4, num_splits=4):
+    cluster = Cluster(num_nodes=num_nodes, nodes_per_rack=num_nodes)
+    dfs = DistributedFileSystem(cluster)
+    records = [(i, float(i)) for i in range(40)]
+    dataset = DistributedDataset.materialize(dfs, "/in", records, num_splits)
+    return cluster, JobRunner(cluster, dfs), dataset
+
+
+def mean_spec() -> JobSpec:
+    def mapper(ctx, k, v):
+        ctx.emit(0, (v, 1))
+
+    def reducer(ctx, key, values):
+        total = sum(v for v, _n in values)
+        count = sum(n for _v, n in values)
+        ctx.emit("mean", total / count)
+
+    return JobSpec(name="mean", mapper=mapper, reducer=reducer, num_reducers=1)
+
+
+class TestTaskRetry:
+    def test_result_unchanged_by_failures(self):
+        _c, runner, dataset = make_env()
+        clean = runner.run(mean_spec(), dataset)
+        _c2, runner2, dataset2 = make_env()
+        flaky = runner2.run(mean_spec(), dataset2, failures={0: 1, 2: 2})
+        assert clean.output == flaky.output
+
+    def test_failures_counted(self):
+        _c, runner, dataset = make_env()
+        result = runner.run(mean_spec(), dataset, failures={0: 1, 2: 2})
+        assert result.counters.get("failed_map_attempts") == 3
+
+    def test_failures_cost_time(self):
+        _c, runner, dataset = make_env()
+        clean = runner.run(mean_spec(), dataset)
+        _c2, runner2, dataset2 = make_env()
+        flaky = runner2.run(mean_spec(), dataset2, failures={0: 3})
+        assert flaky.duration > clean.duration
+
+    def test_slots_recovered_after_failures(self):
+        _c, runner, dataset = make_env()
+        runner.run(mean_spec(), dataset, failures={0: 2, 1: 2, 2: 2, 3: 2})
+        assert runner.map_scheduler.free_slots() == runner.map_scheduler.total_slots
+
+    def test_many_failures_still_complete(self):
+        _c, runner, dataset = make_env()
+        result = runner.run(
+            mean_spec(), dataset, failures={i: 5 for i in range(4)}
+        )
+        assert result.output[0][1] == pytest.approx(19.5)
+
+
+class TestBestEffortUnderFailures:
+    def test_engine_result_identical_with_flaky_first_round(self):
+        """Section VII: a failed best-effort task is simply restarted by
+        the framework; the computed model is unaffected."""
+        records = [(i, float(i)) for i in range(40)]
+        cluster = Cluster(num_nodes=4, nodes_per_rack=4)
+        clean_engine = BestEffortEngine(cluster, MeanProgram(), num_partitions=4)
+        clean = clean_engine.run(records, {"mean": 0.0})
+
+        cluster2 = Cluster(num_nodes=4, nodes_per_rack=4)
+        flaky_engine = BestEffortEngine(cluster2, MeanProgram(), num_partitions=4)
+        original_run = flaky_engine.runner.run
+        calls = {"n": 0}
+
+        def run_with_failures(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:  # first best-effort round: kill task 1 once
+                kwargs["failures"] = {1: 1}
+            return original_run(*args, **kwargs)
+
+        flaky_engine.runner.run = run_with_failures
+        flaky = flaky_engine.run(records, {"mean": 0.0})
+        assert flaky.model == clean.model
+        assert flaky.total_time > clean.total_time

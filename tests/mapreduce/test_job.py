@@ -1,0 +1,109 @@
+"""Tests for job specification and task contexts."""
+
+import pytest
+
+from repro.mapreduce.job import Counters, JobSpec, TaskContext
+
+
+def noop_mapper(ctx, k, v):
+    ctx.emit(k, v)
+
+
+def noop_reducer(ctx, k, values):
+    ctx.emit(k, values[0])
+
+
+class TestTaskContext:
+    def test_emit_collects(self):
+        ctx = TaskContext()
+        ctx.emit("a", 1)
+        ctx.emit("b", 2)
+        assert ctx.output == [("a", 1), ("b", 2)]
+
+    def test_model_and_split_index(self):
+        ctx = TaskContext(model={"x": 1}, split_index=4)
+        assert ctx.model == {"x": 1}
+        assert ctx.split_index == 4
+
+    def test_stats_scratch(self):
+        ctx = TaskContext()
+        ctx.stats["local_iterations"] = 7
+        assert ctx.stats == {"local_iterations": 7}
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("x")
+        c.add("x", 2)
+        assert c.get("x") == 3
+
+    def test_missing_is_zero(self):
+        assert Counters().get("nope") == 0
+
+    def test_as_dict_copy(self):
+        c = Counters()
+        c.add("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c.get("x") == 1
+
+
+class TestJobSpecValidation:
+    def test_requires_exactly_one_mapper(self):
+        with pytest.raises(ValueError, match="mapper"):
+            JobSpec(name="j", reducer=noop_reducer)
+        with pytest.raises(ValueError, match="mapper"):
+            JobSpec(
+                name="j",
+                mapper=noop_mapper,
+                batch_mapper=lambda ctx, recs: None,
+                reducer=noop_reducer,
+            )
+
+    def test_requires_exactly_one_reducer(self):
+        with pytest.raises(ValueError, match="reducer"):
+            JobSpec(name="j", mapper=noop_mapper)
+
+    def test_zero_reducers_rejected(self):
+        with pytest.raises(ValueError, match="num_reducers"):
+            JobSpec(name="j", mapper=noop_mapper, reducer=noop_reducer, num_reducers=0)
+
+    def test_zero_replication_rejected(self):
+        with pytest.raises(ValueError, match="replication"):
+            JobSpec(
+                name="j", mapper=noop_mapper, reducer=noop_reducer,
+                output_replication=0,
+            )
+
+
+class TestRunHelpers:
+    def test_run_mapper_record_at_a_time(self):
+        spec = JobSpec(name="j", mapper=noop_mapper, reducer=noop_reducer)
+        ctx = TaskContext()
+        spec.run_mapper(ctx, [("a", 1), ("b", 2)])
+        assert ctx.output == [("a", 1), ("b", 2)]
+
+    def test_run_mapper_batch(self):
+        def batch(ctx, records):
+            ctx.emit("n", len(records))
+
+        spec = JobSpec(name="j", batch_mapper=batch, reducer=noop_reducer)
+        ctx = TaskContext()
+        spec.run_mapper(ctx, [("a", 1), ("b", 2)])
+        assert ctx.output == [("n", 2)]
+
+    def test_run_reducer_record_at_a_time(self):
+        spec = JobSpec(name="j", mapper=noop_mapper, reducer=noop_reducer)
+        ctx = TaskContext()
+        spec.run_reducer(ctx, [("a", [1, 2])])
+        assert ctx.output == [("a", 1)]
+
+    def test_run_reducer_batch(self):
+        def batch(ctx, grouped):
+            ctx.emit("groups", len(grouped))
+
+        spec = JobSpec(name="j", mapper=noop_mapper, batch_reducer=batch)
+        ctx = TaskContext()
+        spec.run_reducer(ctx, [("a", [1]), ("b", [2])])
+        assert ctx.output == [("groups", 2)]

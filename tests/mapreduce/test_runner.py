@@ -1,0 +1,204 @@
+"""Tests for the MapReduce job runner (word-count-style workloads)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import NodeSpec
+from repro.dfs.dfs import DistributedFileSystem
+from repro.mapreduce.costs import CostHints
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.records import DistributedDataset
+from repro.mapreduce.runner import JobRunner
+
+
+def word_mapper(ctx, key, value):
+    ctx.emit(value, 1)
+
+
+def sum_reducer(ctx, key, values):
+    ctx.emit(key, sum(values))
+
+
+def make_env(num_nodes=6, num_splits=6, num_words=10, num_records=300):
+    cluster = Cluster(num_nodes=num_nodes, nodes_per_rack=num_nodes)
+    dfs = DistributedFileSystem(cluster)
+    records = [(i, f"word{i % num_words}") for i in range(num_records)]
+    dataset = DistributedDataset.materialize(dfs, "/in", records, num_splits)
+    return cluster, JobRunner(cluster, dfs), dataset
+
+
+def word_spec(**kw) -> JobSpec:
+    defaults = dict(
+        name="wordcount", mapper=word_mapper, reducer=sum_reducer, num_reducers=4
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+class TestCorrectness:
+    def test_word_count_exact(self):
+        _c, runner, dataset = make_env()
+        result = runner.run(word_spec(), dataset)
+        assert sorted(result.output) == [(f"word{i}", 30) for i in range(10)]
+
+    def test_combiner_preserves_result(self):
+        _c, runner, dataset = make_env()
+        plain = runner.run(word_spec(), dataset)
+        _c2, runner2, dataset2 = make_env()
+        combined = runner2.run(
+            word_spec(combiner=lambda k, vs: sum(vs)), dataset2
+        )
+        assert sorted(plain.output) == sorted(combined.output)
+
+    def test_single_reducer(self):
+        _c, runner, dataset = make_env()
+        result = runner.run(word_spec(num_reducers=1), dataset)
+        assert len(result.output) == 10
+
+    def test_more_reducers_than_words(self):
+        _c, runner, dataset = make_env()
+        result = runner.run(word_spec(num_reducers=24), dataset)
+        assert sorted(result.output) == [(f"word{i}", 30) for i in range(10)]
+
+    def test_deterministic_across_runs(self):
+        _c, r1, d1 = make_env()
+        _c2, r2, d2 = make_env()
+        a = r1.run(word_spec(), d1)
+        b = r2.run(word_spec(), d2)
+        assert a.output == b.output
+        assert a.duration == pytest.approx(b.duration)
+
+    def test_batch_mapper_equivalent(self):
+        def batch(ctx, records):
+            for _k, v in records:
+                ctx.emit(v, 1)
+
+        _c, runner, dataset = make_env()
+        result = runner.run(
+            JobSpec(name="b", batch_mapper=batch, reducer=sum_reducer, num_reducers=4),
+            dataset,
+        )
+        assert sorted(result.output) == [(f"word{i}", 30) for i in range(10)]
+
+
+class TestAccounting:
+    def test_counters(self):
+        _c, runner, dataset = make_env()
+        result = runner.run(word_spec(), dataset)
+        c = result.counters
+        assert c.get("map_input_records") == 300
+        assert c.get("map_output_records") == 300
+        assert c.get("reduce_output_records") == 10
+
+    def test_combiner_shrinks_shuffle(self):
+        _c, runner, dataset = make_env()
+        plain = runner.run(word_spec(), dataset)
+        _c2, runner2, dataset2 = make_env()
+        combined = runner2.run(word_spec(combiner=lambda k, vs: sum(vs)), dataset2)
+        assert combined.shuffle_bytes < plain.shuffle_bytes
+        assert combined.map_output_bytes_raw == plain.map_output_bytes_raw
+
+    def test_shuffle_traffic_recorded(self):
+        cluster, runner, dataset = make_env()
+        result = runner.run(word_spec(), dataset)
+        assert cluster.meter.total("shuffle") == pytest.approx(result.shuffle_bytes)
+
+    def test_output_written_as_model_update(self):
+        cluster, runner, dataset = make_env()
+        result = runner.run(word_spec(), dataset)
+        # 3 replicas per output byte (1 local + 2 pipeline hops).
+        assert cluster.meter.total("model_update") == pytest.approx(
+            3 * result.output_bytes
+        )
+
+    def test_input_read_charged_once(self):
+        cluster, runner, dataset = make_env()
+        runner.run(word_spec(), dataset)
+        assert cluster.meter.total("input") == pytest.approx(dataset.nbytes)
+
+    def test_input_cached_skips_read(self):
+        cluster, runner, dataset = make_env()
+        runner.run(word_spec(), dataset, input_cached=True)
+        assert cluster.meter.total("input") == 0
+
+    def test_duration_positive_and_overheads_counted(self):
+        _c, runner, dataset = make_env()
+        slow = word_spec(costs=CostHints(job_overhead_seconds=10.0))
+        result = runner.run(slow, dataset)
+        assert result.duration >= 10.0
+
+    def test_output_locations_are_replica_set(self):
+        cluster, runner, dataset = make_env()
+        result = runner.run(word_spec(), dataset)
+        assert 1 <= len(result.output_locations) <= 3
+        for node in result.output_locations:
+            assert 0 <= node < cluster.num_nodes
+
+
+class TestModelDistribution:
+    def test_broadcast_once_per_node(self):
+        cluster, runner, dataset = make_env()
+        runner.run(
+            word_spec(), dataset, model={"m": 1}, model_bytes=1000,
+            model_locations=(0,),
+        )
+        # 5 non-holding nodes fetch the full model.
+        assert cluster.meter.fabric("model_read") == pytest.approx(5000)
+
+    def test_partitioned_ships_one_model_total(self):
+        cluster, runner, dataset = make_env()
+        runner.run(
+            word_spec(), dataset, model={"m": 1}, model_bytes=1200,
+            model_locations=(0,), model_mode="partitioned",
+        )
+        assert cluster.meter.total("model_read") == pytest.approx(1200)
+
+    def test_bad_model_mode_rejected(self):
+        _c, runner, dataset = make_env()
+        with pytest.raises(ValueError):
+            runner.run(word_spec(), dataset, model_mode="telepathy")
+
+
+class TestDynamicCosts:
+    def test_map_cost_override_used(self):
+        def expensive(num_records, nbytes, ctx):
+            return 100.0
+
+        _c, runner, dataset = make_env()
+        cheap = runner.run(word_spec(), dataset)
+        _c2, runner2, dataset2 = make_env()
+        result = runner2.run(word_spec(map_cost=expensive), dataset2)
+        assert result.duration > cheap.duration + 90
+
+    def test_map_stats_surface(self):
+        def stats_mapper(ctx, records):
+            ctx.stats["local_iterations"] = 5
+            ctx.emit("k", 1)
+
+        _c, runner, dataset = make_env(num_splits=3)
+        spec = JobSpec(
+            name="s", batch_mapper=stats_mapper, reducer=sum_reducer, num_reducers=1
+        )
+        result = runner.run(spec, dataset)
+        assert set(result.map_stats) == {0, 1, 2}
+        assert all(v["local_iterations"] == 5 for v in result.map_stats.values())
+
+
+class TestSlotReuse:
+    def test_runner_survives_many_jobs(self):
+        _c, runner, dataset = make_env()
+        for _ in range(5):
+            result = runner.run(word_spec(), dataset)
+            assert len(result.output) == 10
+
+    def test_reduce_waves_when_reducers_exceed_slots(self):
+        cluster = Cluster(
+            num_nodes=2, nodes_per_rack=2,
+            node_spec=NodeSpec(map_slots=2, reduce_slots=1),
+        )
+        dfs = DistributedFileSystem(cluster)
+        records = [(i, f"w{i % 20}") for i in range(100)]
+        dataset = DistributedDataset.materialize(dfs, "/in", records, 4)
+        runner = JobRunner(cluster, dfs)
+        result = runner.run(word_spec(num_reducers=8), dataset)
+        assert sorted(result.output) == sorted((f"w{i}", 5) for i in range(20))

@@ -1,0 +1,112 @@
+"""Tests for locality-aware slot scheduling."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import NodeSpec
+from repro.mapreduce.scheduler import SlotScheduler
+
+
+def make_scheduler(num_nodes=4, nodes_per_rack=2, map_slots=2, kind="map"):
+    cluster = Cluster(
+        num_nodes=num_nodes,
+        nodes_per_rack=nodes_per_rack,
+        node_spec=NodeSpec(map_slots=map_slots, reduce_slots=map_slots),
+    )
+    return cluster, SlotScheduler(cluster, kind)
+
+
+class TestBasics:
+    def test_total_slots(self):
+        _c, sched = make_scheduler()
+        assert sched.total_slots == 8
+
+    def test_bad_kind_rejected(self):
+        cluster, _ = make_scheduler()
+        with pytest.raises(ValueError):
+            SlotScheduler(cluster, "gpu")
+
+    def test_immediate_grant_when_free(self):
+        _c, sched = make_scheduler()
+        granted = []
+        sched.request(granted.append)
+        assert len(granted) == 1
+
+    def test_queues_when_full(self):
+        _c, sched = make_scheduler(num_nodes=1, nodes_per_rack=1, map_slots=1)
+        granted = []
+        sched.request(granted.append)
+        sched.request(granted.append)
+        assert granted == [0]
+        sched.release(0)
+        assert granted == [0, 0]
+
+    def test_over_release_rejected(self):
+        _c, sched = make_scheduler()
+        with pytest.raises(RuntimeError):
+            sched.release(0)
+
+    def test_free_slots_tracking(self):
+        _c, sched = make_scheduler()
+        sched.request(lambda n: None)
+        assert sched.free_slots() == 7
+
+
+class TestLocality:
+    def test_prefers_local_node(self):
+        _c, sched = make_scheduler()
+        granted = []
+        sched.request(granted.append, preferred=(3,))
+        assert granted == [3]
+        assert sched.assignments_local == 1
+
+    def test_prefers_rack_when_node_busy(self):
+        _c, sched = make_scheduler(map_slots=1)
+        sched.request(lambda n: None, preferred=(2,))  # takes node 2
+        granted = []
+        sched.request(granted.append, preferred=(2,))  # node 2 full -> rack peer 3
+        assert granted == [3]
+        assert sched.assignments_rack == 1
+
+    def test_falls_back_to_any(self):
+        _c, sched = make_scheduler(num_nodes=2, nodes_per_rack=1, map_slots=1)
+        sched.request(lambda n: None, preferred=(0,))
+        granted = []
+        sched.request(granted.append, preferred=(0,))  # other rack only
+        assert granted == [1]
+        assert sched.assignments_remote == 1
+
+    def test_release_serves_local_waiter_first(self):
+        _c, sched = make_scheduler(num_nodes=2, nodes_per_rack=1, map_slots=1)
+        sched.request(lambda n: None, preferred=(0,))
+        sched.request(lambda n: None, preferred=(1,))
+        waited = []
+        sched.request(lambda n: waited.append(("any", n)))
+        sched.request(lambda n: waited.append(("wants0", n)), preferred=(0,))
+        sched.release(0)
+        # The queued request preferring node 0 gets it, not the older FIFO one.
+        assert waited == [("wants0", 0)]
+        sched.release(1)
+        assert waited == [("wants0", 0), ("any", 1)]
+
+    def test_spreads_load_without_preference(self):
+        _c, sched = make_scheduler()
+        nodes = []
+        for _ in range(4):
+            sched.request(nodes.append)
+        assert sorted(nodes) == [0, 1, 2, 3]
+
+
+class TestSaturation:
+    def test_all_slots_usable(self):
+        _c, sched = make_scheduler()
+        granted = []
+        for _ in range(8):
+            sched.request(granted.append)
+        assert len(granted) == 8
+        assert sched.free_slots() == 0
+        extra = []
+        sched.request(extra.append)
+        assert extra == []
+        sched.release(granted[0])
+        assert len(extra) == 1

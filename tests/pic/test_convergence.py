@@ -1,0 +1,76 @@
+"""Tests for the convergence criteria helpers."""
+
+import numpy as np
+import pytest
+
+from repro.pic.convergence import (
+    either,
+    fixed_iterations,
+    kv_model_max_change,
+    max_change_below,
+)
+
+
+class TestKvModelMaxChange:
+    def test_scalar_change(self):
+        assert kv_model_max_change({0: 1.0}, {0: 1.5}) == pytest.approx(0.5)
+
+    def test_vector_change_uses_norm(self):
+        prev = {0: np.array([0.0, 0.0])}
+        cur = {0: np.array([3.0, 4.0])}
+        assert kv_model_max_change(prev, cur) == pytest.approx(5.0)
+
+    def test_max_over_keys(self):
+        prev = {0: 0.0, 1: 0.0}
+        cur = {0: 0.1, 1: 2.0}
+        assert kv_model_max_change(prev, cur) == pytest.approx(2.0)
+
+    def test_key_mismatch_is_infinite(self):
+        assert kv_model_max_change({0: 1.0}, {1: 1.0}) == float("inf")
+
+    def test_shape_mismatch_is_infinite(self):
+        prev = {0: np.zeros(2)}
+        cur = {0: np.zeros(3)}
+        assert kv_model_max_change(prev, cur) == float("inf")
+
+    def test_identical_models_zero(self):
+        m = {0: np.ones(4), 1: 2.0}
+        assert kv_model_max_change(m, m) == 0.0
+
+
+class TestMaxChangeBelow:
+    def test_threshold_behaviour(self):
+        crit = max_change_below(0.1)
+        assert crit({0: 1.0}, {0: 1.05}, 3)
+        assert not crit({0: 1.0}, {0: 1.2}, 3)
+
+    def test_custom_distance(self):
+        crit = max_change_below(1.0, distance=lambda a, b: abs(a - b))
+        assert crit(0.0, 0.5, 0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            max_change_below(0.0)
+
+
+class TestFixedIterations:
+    def test_stops_exactly_at_limit(self):
+        crit = fixed_iterations(10)
+        assert not crit(None, None, 8)
+        assert crit(None, None, 9)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            fixed_iterations(0)
+
+
+class TestEither:
+    def test_any_criterion_suffices(self):
+        crit = either(fixed_iterations(100), max_change_below(0.1))
+        assert crit({0: 1.0}, {0: 1.0}, 0)       # change criterion
+        assert crit({0: 0.0}, {0: 99.0}, 99)     # iteration criterion
+        assert not crit({0: 0.0}, {0: 99.0}, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            either()

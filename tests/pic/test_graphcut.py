@@ -1,0 +1,123 @@
+"""Tests for the min-cut graph partitioner (METIS substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.coupling import graph_coupling_epsilon
+from repro.apps.pagerank import local_web_graph
+from repro.pic.graphcut import cut_size, mincut_partition
+
+
+def ring_edges(n):
+    return [(v, (v + 1) % n) for v in range(n)]
+
+
+class TestBasics:
+    def test_assignment_covers_all_vertices(self):
+        assignment = mincut_partition(20, ring_edges(20), 4, seed=0)
+        assert set(assignment) == set(range(20))
+        assert set(assignment.values()) <= set(range(4))
+
+    def test_balance_respected(self):
+        assignment = mincut_partition(40, ring_edges(40), 4, seed=0)
+        sizes = np.bincount(list(assignment.values()), minlength=4)
+        cap = int(np.ceil(40 / 4) * 1.1)
+        assert sizes.max() <= cap
+        assert sizes.min() >= 1
+
+    def test_single_partition(self):
+        assignment = mincut_partition(10, ring_edges(10), 1, seed=0)
+        assert set(assignment.values()) == {0}
+
+    def test_deterministic(self):
+        a = mincut_partition(30, ring_edges(30), 3, seed=7)
+        b = mincut_partition(30, ring_edges(30), 3, seed=7)
+        assert a == b
+
+    def test_isolated_vertices_assigned(self):
+        assignment = mincut_partition(10, [], 2, seed=0)
+        assert set(assignment) == set(range(10))
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"num_vertices": 0, "num_partitions": 1},
+            {"num_vertices": 3, "num_partitions": 0},
+            {"num_vertices": 3, "num_partitions": 5},
+            {"num_vertices": 3, "num_partitions": 2, "balance_slack": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValueError):
+            mincut_partition(edges=[], **kw)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            mincut_partition(3, [(0, 9)], 2, seed=0)
+
+
+class TestCutQuality:
+    def test_ring_cut_is_near_optimal(self):
+        # A ring split into k contiguous arcs has exactly k cut edges.
+        n, k = 60, 4
+        assignment = mincut_partition(n, ring_edges(n), k, seed=1)
+        assert cut_size(ring_edges(n), assignment) <= 2 * k
+
+    def test_two_cliques_separated(self):
+        # Two 10-cliques joined by one bridge: the optimal 2-cut is 1.
+        edges = [(u, v) for u in range(10) for v in range(u + 1, 10)]
+        edges += [(u, v) for u in range(10, 20) for v in range(u + 1, 20)]
+        edges += [(0, 10)]
+        assignment = mincut_partition(20, edges, 2, seed=2)
+        assert cut_size(edges, assignment) <= 3
+
+    def test_beats_random_on_local_web_graph(self):
+        records = local_web_graph(3000, seed=5)
+        edges = [(v, t) for v, outs in records for t in outs]
+        assignment = mincut_partition(3000, edges, 12, seed=3)
+        eps = graph_coupling_epsilon(records, assignment)
+        # Random 12-way partitioning cuts ~11/12 of the edges.
+        assert eps < 0.5
+
+    def test_works_without_vertex_id_locality(self):
+        """Unlike contiguous range partitioning, min-cut finds structure
+        even when vertex ids are shuffled."""
+        records = local_web_graph(2000, seed=6)
+        rng = np.random.default_rng(0)
+        relabel = rng.permutation(2000)
+        shuffled = [
+            (int(relabel[v]), tuple(int(relabel[t]) for t in outs))
+            for v, outs in records
+        ]
+        edges = [(v, t) for v, outs in shuffled for t in outs]
+        mincut_assign = mincut_partition(2000, edges, 8, seed=3)
+        contiguous_assign = {v: min(v * 8 // 2000, 7) for v, _o in shuffled}
+        eps_mincut = graph_coupling_epsilon(shuffled, mincut_assign)
+        eps_contig = graph_coupling_epsilon(shuffled, contiguous_assign)
+        assert eps_mincut < eps_contig / 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(8, 60), st.integers(2, 5), st.integers(0, 50))
+    def test_always_valid_partition(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(2 * n)
+        ]
+        assignment = mincut_partition(n, edges, k, seed=seed)
+        assert set(assignment) == set(range(n))
+        sizes = np.bincount(list(assignment.values()), minlength=k)
+        assert sizes.max() <= int(np.ceil(n / k) * 1.1)
+
+
+class TestPageRankIntegration:
+    def test_mincut_mode_reduces_cut_vs_random(self):
+        from repro.apps.pagerank import PageRankProgram
+
+        records = local_web_graph(2000, seed=5)
+        results = {}
+        for mode in ("random", "mincut"):
+            prog = PageRankProgram(partition_mode=mode)
+            prog.partition(records, prog.initial_model(records), 8, seed=3)
+            results[mode] = graph_coupling_epsilon(records, prog._assignment)
+        assert results["mincut"] < results["random"] / 2

@@ -1,0 +1,90 @@
+"""Tests for the default merge strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pic.mergers import average_merge, concat_merge, sum_merge
+
+float_values = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestAverageMerge:
+    def test_scalar_average(self):
+        merged = average_merge([{0: 1.0}, {0: 3.0}])
+        assert merged[0] == pytest.approx(2.0)
+
+    def test_vector_average(self):
+        a = {0: np.array([1.0, 2.0])}
+        b = {0: np.array([3.0, 4.0])}
+        merged = average_merge([a, b])
+        assert np.allclose(merged[0], [2.0, 3.0])
+
+    def test_missing_keys_averaged_over_present(self):
+        merged = average_merge([{0: 2.0, 1: 10.0}, {0: 4.0}])
+        assert merged[0] == pytest.approx(3.0)
+        assert merged[1] == pytest.approx(10.0)
+
+    def test_single_model_identity(self):
+        merged = average_merge([{0: 5.0, 1: np.array([1.0])}])
+        assert merged[0] == pytest.approx(5.0)
+        assert np.allclose(merged[1], [1.0])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            average_merge([])
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            average_merge([[1, 2]])
+
+    def test_does_not_mutate_inputs(self):
+        a = {0: np.array([1.0])}
+        b = {0: np.array([3.0])}
+        average_merge([a, b])
+        assert a[0][0] == 1.0 and b[0][0] == 3.0
+
+    @given(st.lists(st.dictionaries(st.integers(0, 5), float_values, min_size=1),
+                    min_size=1, max_size=6))
+    def test_average_is_bounded_by_extremes(self, models):
+        merged = average_merge(models)
+        for key, value in merged.items():
+            values = [m[key] for m in models if key in m]
+            assert min(values) - 1e-9 <= value <= max(values) + 1e-9
+
+
+class TestSumMerge:
+    def test_scalar_sum(self):
+        assert sum_merge([{0: 1.0}, {0: 2.0}])[0] == pytest.approx(3.0)
+
+    def test_vector_sum(self):
+        merged = sum_merge([{0: np.ones(2)}, {0: np.ones(2)}])
+        assert np.allclose(merged[0], [2.0, 2.0])
+
+    def test_union_of_keys(self):
+        merged = sum_merge([{0: 1.0}, {1: 2.0}])
+        assert merged == {0: pytest.approx(1.0), 1: pytest.approx(2.0)}
+
+    @given(st.lists(st.dictionaries(st.integers(0, 5), float_values),
+                    min_size=1, max_size=6))
+    def test_sum_matches_manual(self, models):
+        merged = sum_merge(models)
+        keys = {k for m in models for k in m}
+        for key in keys:
+            expected = sum(m[key] for m in models if key in m)
+            assert merged[key] == pytest.approx(expected)
+
+
+class TestConcatMerge:
+    def test_disjoint_union(self):
+        merged = concat_merge([{0: "a"}, {1: "b"}])
+        assert merged == {0: "a", 1: "b"}
+
+    def test_collision_rejected(self):
+        with pytest.raises(ValueError, match="more than one"):
+            concat_merge([{0: "a"}, {0: "b"}])
+
+    def test_values_not_copied_or_modified(self):
+        arr = np.array([1.0])
+        merged = concat_merge([{0: arr}])
+        assert merged[0] is arr

@@ -1,0 +1,53 @@
+"""Tests for the KV model helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pic.model import model_nbytes, model_to_records, records_to_model
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        model = {1: 1.0, 0: 2.0}
+        assert records_to_model(model_to_records(model)) == model
+
+    def test_records_sorted_by_key(self):
+        records = model_to_records({3: "c", 1: "a", 2: "b"})
+        assert [k for k, _v in records] == [1, 2, 3]
+
+    def test_unsortable_keys_use_repr_order(self):
+        model = {("pr", 1): 0.5, "x": 1.0}
+        records = model_to_records(model)
+        assert records_to_model(records) == model
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            records_to_model([(1, "a"), (1, "b")])
+
+    def test_empty_model(self):
+        assert model_to_records({}) == []
+        assert records_to_model([]) == {}
+
+    @given(
+        st.dictionaries(
+            st.integers(), st.floats(allow_nan=False), max_size=30
+        )
+    )
+    def test_roundtrip_property(self, model):
+        assert records_to_model(model_to_records(model)) == model
+
+
+class TestSizing:
+    def test_size_matches_records(self):
+        model = {0: np.zeros(3), 1: np.zeros(3)}
+        # per entry: key 8 + array (24 + 8 header)
+        assert model_nbytes(model) == 2 * (8 + 32)
+
+    def test_empty_model_is_zero(self):
+        assert model_nbytes({}) == 0
+
+    def test_size_grows_with_entries(self):
+        small = model_nbytes({0: 1.0})
+        big = model_nbytes({0: 1.0, 1: 2.0})
+        assert big > small

@@ -1,0 +1,48 @@
+"""A minimal PICProgram used across the PIC-layer tests.
+
+The model is ``{"mean": m}``; each iteration moves m halfway toward the
+mean of the records the task sees.  Fixed point = data mean, geometric
+convergence — every behaviour is predictable in closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.mapreduce.costs import CostHints
+from repro.mapreduce.job import TaskContext
+from repro.pic.api import PICProgram
+
+
+class MeanProgram(PICProgram):
+    name = "mean"
+    num_reducers = 2
+    costs = CostHints()
+
+    def __init__(self, threshold: float = 1e-6):
+        self.threshold = threshold
+
+    def initial_model(self, records: Sequence[tuple[Any, Any]], seed: Any = 0):
+        return {"mean": 0.0}
+
+    def map(self, ctx: TaskContext, key: Any, value: Any) -> None:
+        ctx.emit(0, (value, 1))
+
+    def combine(self, key: Any, values: list[Any]) -> Any:
+        total = sum(v for v, _n in values)
+        count = sum(n for _v, n in values)
+        return (total, count)
+
+    def reduce(self, ctx: TaskContext, key: Any, values: list[Any]) -> None:
+        total = sum(v for v, _n in values)
+        count = sum(n for _v, n in values)
+        ctx.emit("mean", (ctx.model["mean"] + total / count) / 2.0)
+
+    def build_model(self, model, output):
+        new = dict(model)
+        for k, v in output:
+            new[k] = v
+        return new
+
+    def converged(self, previous, current, iteration) -> bool:
+        return abs(current["mean"] - previous["mean"]) < self.threshold

@@ -1,0 +1,73 @@
+"""Tests for human-readable formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.formatting import human_bytes, human_time, render_table
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(512) == "512 B"
+
+    def test_kb(self):
+        assert human_bytes(2048) == "2.00 KB"
+
+    def test_mb(self):
+        assert human_bytes(9.21 * 2**30) == "9.21 GB"
+
+    def test_zero(self):
+        assert human_bytes(0) == "0 B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_bytes(-1)
+
+    @given(st.floats(min_value=0, max_value=1e18))
+    def test_never_crashes_and_has_unit(self, n):
+        out = human_bytes(n)
+        assert any(out.endswith(u) for u in ("B", "KB", "MB", "GB", "TB", "PB"))
+
+
+class TestHumanTime:
+    def test_microseconds(self):
+        assert human_time(5e-6) == "5.0 us"
+
+    def test_milliseconds(self):
+        assert human_time(0.25) == "250.0 ms"
+
+    def test_seconds(self):
+        assert human_time(42.0) == "42.0 s"
+
+    def test_minutes(self):
+        assert human_time(600) == "10.0 min"
+
+    def test_hours(self):
+        assert human_time(7200) == "2.00 h"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_time(-0.1)
+
+
+class TestRenderTable:
+    def test_basic_render(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(["a", "b"], [[1]])
+
+    def test_columns_align(self):
+        out = render_table(["col", "c"], [["x", "yyyy"], ["zz", "w"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1

@@ -1,0 +1,80 @@
+"""Tests for the RNG discipline helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import Seeded, as_generator, spawn_rngs
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(5)
+        gen = as_generator(ss)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_spawn(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert not np.array_equal(
+            a.integers(0, 2**31, size=20), b.integers(0, 2**31, size=20)
+        )
+
+    def test_deterministic_across_calls(self):
+        first = [g.integers(0, 2**31, size=4) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 2**31, size=4) for g in spawn_rngs(9, 3)]
+        for x, y in zip(first, second):
+            assert np.array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(11)
+        children = spawn_rngs(parent, 3)
+        assert len(children) == 3
+
+    def test_spawn_from_seed_sequence(self):
+        children = spawn_rngs(np.random.SeedSequence(2), 2)
+        assert len(children) == 2
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(1, 8))
+    def test_children_pairwise_distinct_streams(self, seed, n):
+        draws = [g.integers(0, 2**63, size=4) for g in spawn_rngs(seed, n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert not np.array_equal(draws[i], draws[j])
+
+
+class TestSeeded:
+    def test_mixin_gives_rng(self):
+        class Thing(Seeded):
+            pass
+
+        t = Thing(seed=5)
+        assert isinstance(t.rng, np.random.Generator)

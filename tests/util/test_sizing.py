@@ -1,0 +1,95 @@
+"""Tests for wire-size estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.sizing import sizeof_record, sizeof_records, sizeof_value
+
+
+class TestScalars:
+    def test_int(self):
+        assert sizeof_value(5) == 8
+
+    def test_float(self):
+        assert sizeof_value(3.14) == 8
+
+    def test_bool(self):
+        assert sizeof_value(True) == 1
+
+    def test_none(self):
+        assert sizeof_value(None) == 1
+
+    def test_numpy_scalar(self):
+        assert sizeof_value(np.float32(1.0)) == 4
+        assert sizeof_value(np.int64(1)) == 8
+
+
+class TestStrings:
+    def test_ascii(self):
+        assert sizeof_value("abc") == 3 + 2
+
+    def test_utf8_multibyte(self):
+        assert sizeof_value("é") == 2 + 2
+
+    def test_bytes(self):
+        assert sizeof_value(b"xyz") == 3 + 2
+
+    def test_empty_string(self):
+        assert sizeof_value("") == 2
+
+
+class TestArrays:
+    def test_float64_array(self):
+        arr = np.zeros(10)
+        assert sizeof_value(arr) == 80 + 8
+
+    def test_2d_array(self):
+        arr = np.zeros((4, 4), dtype=np.float32)
+        assert sizeof_value(arr) == 64 + 8
+
+    def test_empty_array(self):
+        assert sizeof_value(np.zeros(0)) == 8
+
+
+class TestContainers:
+    def test_tuple(self):
+        assert sizeof_value((1, 2.0)) == 4 + 8 + 8
+
+    def test_list(self):
+        assert sizeof_value([1, 2, 3]) == 4 + 24
+
+    def test_dict(self):
+        assert sizeof_value({1: 2.0}) == 4 + 16
+
+    def test_nested(self):
+        value = (np.zeros(2), 1)
+        assert sizeof_value(value) == 4 + (16 + 8) + 8
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="cannot size"):
+            sizeof_value(object())
+
+
+class TestRecords:
+    def test_record_is_key_plus_value(self):
+        assert sizeof_record(1, 2.0) == 16
+
+    def test_records_sum(self):
+        records = [(1, 1.0), (2, 2.0), (3, 3.0)]
+        assert sizeof_records(records) == 48
+
+    def test_empty_records(self):
+        assert sizeof_records([]) == 0
+
+    @given(st.lists(st.tuples(st.integers(), st.floats(allow_nan=False))))
+    def test_total_matches_per_record_sum(self, records):
+        assert sizeof_records(records) == sum(
+            sizeof_record(k, v) for k, v in records
+        )
+
+    @given(st.lists(st.tuples(st.integers(), st.floats(allow_nan=False)), min_size=1))
+    def test_positive_and_monotone(self, records):
+        total = sizeof_records(records)
+        assert total > 0
+        assert sizeof_records(records[:-1]) < total

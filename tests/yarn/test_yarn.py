@@ -1,0 +1,201 @@
+"""Tests for the YARN-style resource manager and PIC-on-YARN port."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import NodeSpec
+from repro.dfs.dfs import DistributedFileSystem
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.records import DistributedDataset
+from repro.mapreduce.runner import JobRunner
+from repro.pic.runner import PICRunner
+from repro.yarn import (
+    MAP_PROFILE,
+    REDUCE_PROFILE,
+    Resource,
+    ResourceManager,
+    YarnJobRunner,
+)
+from tests.pic.toy import MeanProgram
+
+
+def make_cluster(num_nodes=4, ram_gb=8, cores=4):
+    return Cluster(
+        num_nodes=num_nodes, nodes_per_rack=num_nodes,
+        node_spec=NodeSpec(cores=cores, ram_bytes=ram_gb * 2**30),
+    )
+
+
+class TestResource:
+    def test_arithmetic(self):
+        a = Resource(1024, 2)
+        b = Resource(512, 1)
+        assert a + b == Resource(1536, 3)
+        assert a - b == Resource(512, 1)
+
+    def test_fits_in(self):
+        assert Resource(512, 1).fits_in(Resource(1024, 2))
+        assert not Resource(2048, 1).fits_in(Resource(1024, 2))
+        assert not Resource(512, 3).fits_in(Resource(1024, 2))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(-1, 0)
+
+
+class TestResourceManager:
+    def test_capacity_reserves_headroom(self):
+        rm = ResourceManager(make_cluster(ram_gb=8))
+        cap = rm.capacity(0)
+        assert cap.memory_mb == int(8 * 1024 * 0.75)
+        assert cap.vcores == 4
+
+    def test_grant_and_release_conserve_capacity(self):
+        rm = ResourceManager(make_cluster())
+        granted = []
+        rm.request(Resource(1024, 1), granted.append)
+        assert len(granted) == 1
+        container = granted[0]
+        before = rm.available(container.node_id)
+        rm.release(container)
+        after = rm.available(container.node_id)
+        assert after.memory_mb == before.memory_mb + 1024
+        assert after == rm.capacity(container.node_id)
+
+    def test_locality_preference(self):
+        rm = ResourceManager(make_cluster())
+        granted = []
+        rm.request(Resource(1024, 1), granted.append, preferred=(2,))
+        assert granted[0].node_id == 2
+
+    def test_queues_when_full(self):
+        rm = ResourceManager(make_cluster(num_nodes=1, ram_gb=2, cores=1))
+        granted = []
+        rm.request(Resource(1024, 1), granted.append)
+        rm.request(Resource(1024, 1), granted.append)
+        assert len(granted) == 1  # second waits: only 1 vcore
+        rm.release(granted[0])
+        assert len(granted) == 2
+
+    def test_memory_constrains_independently_of_cores(self):
+        # 2 GB usable = 1536 MB -> one 1024 MB container despite 4 cores.
+        rm = ResourceManager(make_cluster(num_nodes=1, ram_gb=2, cores=4))
+        granted = []
+        rm.request(Resource(1024, 1), granted.append)
+        rm.request(Resource(1024, 1), granted.append)
+        assert len(granted) == 1
+
+    def test_impossible_request_rejected(self):
+        rm = ResourceManager(make_cluster(ram_gb=2))
+        with pytest.raises(ValueError, match="capacity"):
+            rm.request(Resource(10**6, 1), lambda c: None)
+
+    def test_over_release_rejected(self):
+        rm = ResourceManager(make_cluster())
+        granted = []
+        rm.request(Resource(1024, 1), granted.append)
+        rm.release(granted[0])
+        with pytest.raises(RuntimeError):
+            rm.release(granted[0])
+
+    def test_try_allocate_on_pins_node(self):
+        rm = ResourceManager(make_cluster())
+        container = rm.try_allocate_on(3, Resource(1024, 1))
+        assert container is not None and container.node_id == 3
+        assert rm.try_allocate_on(3, Resource(10**6, 1)) is None
+
+
+def word_env(runner_cls, cluster=None):
+    cluster = cluster or make_cluster(num_nodes=6, ram_gb=16, cores=8)
+    dfs = DistributedFileSystem(cluster)
+    records = [(i, f"w{i % 10}") for i in range(600)]
+    dataset = DistributedDataset.materialize(dfs, "/in", records, 12)
+    return cluster, runner_cls(cluster, dfs), dataset
+
+
+def word_spec():
+    return JobSpec(
+        name="wc",
+        mapper=lambda ctx, k, v: ctx.emit(v, 1),
+        reducer=lambda ctx, k, vs: ctx.emit(k, sum(vs)),
+        num_reducers=4,
+    )
+
+
+class TestYarnJobRunner:
+    def test_same_results_as_slot_runner(self):
+        _c1, slot_runner, ds1 = word_env(JobRunner)
+        _c2, yarn_runner, ds2 = word_env(YarnJobRunner)
+        a = slot_runner.run(word_spec(), ds1)
+        b = yarn_runner.run(word_spec(), ds2)
+        assert sorted(a.output) == sorted(b.output)
+
+    def test_containers_granted_and_returned(self):
+        cluster, runner, dataset = word_env(YarnJobRunner)
+        runner.run(word_spec(), dataset)
+        assert runner.rm.containers_granted >= 12 + 4
+        for node in cluster.nodes:
+            assert runner.rm.available(node.node_id) == runner.rm.capacity(
+                node.node_id
+            )
+
+    def test_memory_constrained_node_throttles_maps(self):
+        # 4 GB RAM -> 3072 MB usable -> at most three 1024 MB map
+        # containers at a time despite 8 vcores; the job still finishes.
+        cluster = make_cluster(num_nodes=1, ram_gb=4, cores=8)
+        _c, runner, dataset = word_env(YarnJobRunner, cluster=cluster)
+        assert runner.map_scheduler.total_slots == 3
+        result = runner.run(word_spec(), dataset)
+        assert sorted(result.output) == sorted((f"w{i}", 60) for i in range(10))
+
+    def test_oversized_profile_rejected(self):
+        cluster = make_cluster(num_nodes=1, ram_gb=2, cores=8)
+        dfs = DistributedFileSystem(cluster)
+        with pytest.raises(ValueError, match="deadlock"):
+            YarnJobRunner(cluster, dfs)  # default reduce profile: 2 GB
+
+    def test_adapter_slot_accounting(self):
+        cluster, runner, _ds = word_env(YarnJobRunner)
+        total = runner.map_scheduler.total_slots
+        # 12 GB usable memory/node / 1 GB maps, capped by 8 vcores.
+        assert total == 6 * 8
+
+    def test_repeated_jobs(self):
+        _c, runner, dataset = word_env(YarnJobRunner)
+        for _ in range(3):
+            result = runner.run(word_spec(), dataset)
+            assert len(result.output) == 10
+
+
+class TestPICOnYarn:
+    def test_pic_runs_unchanged_on_containers(self):
+        """Section VII: PIC ports to YARN with no PIC-level changes."""
+        records = [(i, float(i)) for i in range(40)]
+        cluster = make_cluster()
+        dfs = DistributedFileSystem(cluster)
+        from repro.pic.engine import BestEffortEngine
+
+        engine = BestEffortEngine(
+            cluster, MeanProgram(), num_partitions=4,
+            runner=YarnJobRunner(cluster, dfs), dfs=dfs,
+        )
+        result = engine.run(records, {"mean": 0.0})
+        assert result.model["mean"] == pytest.approx(19.5, abs=1e-3)
+
+    def test_pic_yarn_matches_pic_slots(self):
+        records = [(i, float(i)) for i in range(40)]
+        slots = PICRunner(make_cluster(), MeanProgram(), num_partitions=4).run(
+            records, initial_model={"mean": 0.0}
+        )
+        cluster = make_cluster()
+        dfs = DistributedFileSystem(cluster)
+        from repro.pic.engine import BestEffortEngine
+
+        engine = BestEffortEngine(
+            cluster, MeanProgram(), num_partitions=4,
+            runner=YarnJobRunner(cluster, dfs), dfs=dfs,
+        )
+        yarn_be = engine.run(records, {"mean": 0.0})
+        assert yarn_be.model["mean"] == pytest.approx(
+            slots.best_effort.model["mean"], abs=1e-6
+        )
