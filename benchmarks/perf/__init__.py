@@ -1,0 +1,9 @@
+"""Wall-clock performance microbenchmarks (host time, not simulated time).
+
+Unlike ``benchmarks/test_*`` — which reproduce the paper's *simulated*
+figures — this package times the reproduction's own hot paths on the
+host: partition → solve → merge, shuffle-size accounting, and the
+end-to-end harness.  ``python -m benchmarks.perf.wallclock`` writes
+``BENCH_wallclock.json`` so every future PR has a perf trajectory to
+regress against.
+"""

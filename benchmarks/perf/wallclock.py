@@ -1,0 +1,306 @@
+"""Wall-clock microbenchmark suite with a regression gate.
+
+Times the host-side hot paths of the reproduction:
+
+* ``sizing_homogeneous`` / ``sizing_mixed`` — the shuffle-accounting
+  record sizer (batched fast path vs generic recursion);
+* ``partition_solve_merge`` — one best-effort round's real computation
+  (partition the data, solve every sub-problem in memory, merge);
+* ``shuffle_accounting_job`` — a full MapReduce job on the simulated
+  cluster, dominated by map output bucketing/sizing/shuffle bookkeeping;
+* ``end_to_end_pic`` — a complete two-phase PIC run;
+* ``solve_parallel_w{N}`` — the same solves through the process pool
+  (reported for trajectory; multi-core hosts should see < serial).
+
+Usage::
+
+    python -m benchmarks.perf.wallclock --mode smoke --output BENCH_wallclock.json
+    python -m benchmarks.perf.wallclock --mode smoke --check BENCH_wallclock.json
+
+Regression checking is *calibration-normalized*: every run also times a
+fixed pure-Python loop and compares ``bench / calibration`` ratios, so
+a faster or slower host does not masquerade as a code change.  A bench
+regresses when its normalized time exceeds the baseline's by more than
+``--tolerance`` (default 0.25, i.e. 25%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "BENCH_wallclock.json",
+)
+
+SIZES = {
+    "smoke": dict(sizing_records=20_000, points=4_000, k=5, partitions=6,
+                  job_records=8_000, e2e_points=4_000, repeats=3),
+    "full": dict(sizing_records=200_000, points=40_000, k=10, partitions=24,
+                 job_records=40_000, e2e_points=20_000, repeats=5),
+}
+
+
+def _time_best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-N wall-clock seconds for one bench (min is the standard
+    noise-robust statistic for microbenchmarks)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _calibration() -> None:
+    """Fixed pure-Python workload used to normalize across hosts."""
+    acc = 0
+    for i in range(2_000_000):
+        acc += i % 7
+    assert acc > 0
+
+
+# -- benches -----------------------------------------------------------------
+
+
+def bench_sizing_homogeneous(cfg) -> Callable[[], None]:
+    records = [(i, np.full(3, 0.5)) for i in range(cfg["sizing_records"])]
+
+    def run() -> None:
+        from repro.util.sizing import sizeof_records
+
+        sizeof_records(records)
+
+    return run
+
+
+def bench_sizing_mixed(cfg) -> Callable[[], None]:
+    n = cfg["sizing_records"] // 4
+    records = []
+    for i in range(n):
+        records.append((i, (i, float(i))))
+        records.append((f"k{i}", {"a": 1, "b": [1.0, 2.0]}))
+
+    def run() -> None:
+        from repro.util.sizing import sizeof_records
+
+        sizeof_records(records)
+
+    return run
+
+
+def _kmeans_fixture(points: int, k: int):
+    from repro.apps.kmeans import KMeansProgram, gaussian_mixture
+
+    records, _ = gaussian_mixture(points, k, dim=3, separation=6.0, seed=1)
+    program = KMeansProgram(k=k, dim=3, threshold=0.1)
+    model0 = program.initial_model(records, seed=2)
+    return program, records, model0
+
+
+def bench_partition_solve_merge(cfg) -> Callable[[], None]:
+    program, records, model0 = _kmeans_fixture(cfg["points"], cfg["k"])
+    num_partitions = cfg["partitions"]
+
+    def run() -> None:
+        pairs = program.partition(records, model0, num_partitions, seed=3)
+        solved = [
+            program.solve_in_memory(recs, model)[0] for recs, model in pairs
+        ]
+        program.merge(solved)
+
+    return run
+
+
+def _make_solve_parallel(workers: int):
+    def bench(cfg) -> Callable[[], None]:
+        from repro.parallel import get_executor, solve_subproblem
+
+        program, records, model0 = _kmeans_fixture(cfg["points"], cfg["k"])
+        pairs = program.partition(records, model0, cfg["partitions"], seed=3)
+        executor = get_executor(workers)
+        payloads = [(program, recs, model, None) for recs, model in pairs]
+
+        def run() -> None:
+            executor.map(solve_subproblem, payloads)
+
+        return run
+
+    return bench
+
+
+def bench_shuffle_accounting_job(cfg) -> Callable[[], None]:
+    from repro.apps.kmeans import gaussian_mixture
+
+    records, _ = gaussian_mixture(cfg["job_records"], 4, dim=3,
+                                  separation=6.0, seed=1)
+
+    def run() -> None:
+        from repro.cluster.cluster import Cluster
+        from repro.dfs.dfs import DistributedFileSystem
+        from repro.mapreduce.job import JobSpec
+        from repro.mapreduce.records import DistributedDataset
+        from repro.mapreduce.runner import JobRunner
+        from repro.parallel import SerialExecutor
+
+        cluster = Cluster(num_nodes=4, nodes_per_rack=4)
+        dfs = DistributedFileSystem(cluster, replication=2, seed=5)
+        dataset = DistributedDataset.materialize(
+            dfs, "/perf/input", records, num_splits=8
+        )
+        spec = JobSpec(
+            name="perf-shuffle",
+            batch_mapper=_perf_mapper,
+            batch_reducer=_perf_reducer,
+            num_reducers=4,
+        )
+        runner = JobRunner(cluster, dfs, executor=SerialExecutor())
+        runner.run(spec, dataset)
+
+    return run
+
+
+def _perf_mapper(ctx, records) -> None:
+    for key, value in records:
+        ctx.emit(key % 16, value)
+
+
+def _perf_reducer(ctx, grouped) -> None:
+    for key, values in grouped:
+        ctx.emit(key, np.sum(np.stack(values), axis=0))
+
+
+def bench_end_to_end_pic(cfg) -> Callable[[], None]:
+    program, records, model0 = _kmeans_fixture(cfg["e2e_points"], cfg["k"])
+
+    def run() -> None:
+        import copy
+
+        from repro.cluster.cluster import Cluster
+        from repro.pic.runner import PICRunner
+
+        cluster = Cluster(num_nodes=6, nodes_per_rack=6)
+        PICRunner(
+            cluster, program, num_partitions=cfg["partitions"], seed=3,
+            be_max_iterations=10, max_iterations=50, workers=1,
+        ).run(records, initial_model=copy.deepcopy(model0))
+
+    return run
+
+
+BENCHES: dict[str, Callable[[dict], Callable[[], None]]] = {
+    "sizing_homogeneous": bench_sizing_homogeneous,
+    "sizing_mixed": bench_sizing_mixed,
+    "partition_solve_merge": bench_partition_solve_merge,
+    "shuffle_accounting_job": bench_shuffle_accounting_job,
+    "end_to_end_pic": bench_end_to_end_pic,
+}
+
+# Pool benches are trajectory-only: their wall-clock depends on host
+# core count, so the regression gate skips them (see check_against).
+TRAJECTORY_ONLY = {"solve_parallel_w4"}
+BENCHES["solve_parallel_w4"] = _make_solve_parallel(4)
+
+
+def run_suite(mode: str) -> dict[str, Any]:
+    """Run every bench in ``mode`` and return the result document."""
+    cfg = SIZES[mode]
+    repeats = cfg["repeats"]
+    calibration = _time_best_of(_calibration, repeats)
+    benches: dict[str, float] = {}
+    for name, factory in BENCHES.items():
+        fn = factory(cfg)
+        fn()  # warm-up: imports, allocator, caches
+        benches[name] = _time_best_of(fn, repeats)
+        print(f"  {name:30s} {benches[name] * 1e3:10.2f} ms", file=sys.stderr)
+    return {
+        "meta": {
+            "mode": mode,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "calibration_seconds": calibration,
+        },
+        "benches": benches,
+    }
+
+
+def check_against(
+    current: dict[str, Any], baseline: dict[str, Any], tolerance: float
+) -> list[str]:
+    """Return regression messages (empty when the gate passes)."""
+    failures: list[str] = []
+    if current["meta"]["mode"] != baseline["meta"].get("mode"):
+        return [
+            f"mode mismatch: current {current['meta']['mode']!r} vs "
+            f"baseline {baseline['meta'].get('mode')!r}; regenerate the baseline"
+        ]
+    cal_now = current["meta"]["calibration_seconds"]
+    cal_base = baseline["meta"]["calibration_seconds"]
+    for name, base_seconds in baseline["benches"].items():
+        if name in TRAJECTORY_ONLY or name not in current["benches"]:
+            continue
+        now_norm = current["benches"][name] / cal_now
+        base_norm = base_seconds / cal_base
+        if now_norm > base_norm * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {now_norm:.2f}x calibration vs baseline "
+                f"{base_norm:.2f}x (> {tolerance:.0%} regression)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="PIC reproduction wall-clock microbenchmarks"
+    )
+    parser.add_argument("--mode", choices=sorted(SIZES), default="smoke")
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write current timings as JSON (the BENCH_wallclock.json format)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown per bench (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"running perf suite (mode={args.mode})...", file=sys.stderr)
+    current = run_suite(args.mode)
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against(current, baseline, args.tolerance)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"perf gate passed ({len(baseline['benches'])} benches, "
+            f"tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,12 @@ def _add_common(parser: argparse.ArgumentParser, default_partitions: int) -> Non
         "--speculative", action="store_true",
         help="enable Hadoop-style speculative execution",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="host processes for independent task computations "
+             "(default: $PIC_WORKERS or 1; wall-clock only — simulated "
+             "results are identical for any worker count)",
+    )
 
 
 def _report(result: ComparisonResult, quality_rows: list[list[str]] | None = None) -> str:
@@ -69,7 +75,7 @@ def _report(result: ComparisonResult, quality_rows: list[list[str]] | None = Non
     return out
 
 
-def _run(workload, speculative: bool) -> ComparisonResult:
+def _run(workload, speculative: bool, workers: int | None = None) -> ComparisonResult:
     import copy
 
     from repro.pic.runner import PICRunner, run_ic_baseline
@@ -78,13 +84,13 @@ def _run(workload, speculative: bool) -> ComparisonResult:
     ic = run_ic_baseline(
         ic_cluster, workload.program, workload.records,
         initial_model=copy.deepcopy(workload.initial_model),
-        max_iterations=1000, speculative=speculative,
+        max_iterations=1000, speculative=speculative, workers=workers,
     )
     pic_cluster = workload.cluster_factory()
     pic = PICRunner(
         pic_cluster, workload.program, num_partitions=workload.num_partitions,
         seed=3, be_max_iterations=100, max_iterations=1000,
-        speculative=speculative,
+        speculative=speculative, workers=workers,
     ).run(workload.records, initial_model=copy.deepcopy(workload.initial_model))
     return ComparisonResult(ic=ic, ic_traffic=ic_cluster.meter.snapshot(), pic=pic)
 
@@ -107,7 +113,7 @@ def cmd_kmeans(args) -> str:
         initial_model=program.initial_model(records, seed=args.seed + 1),
         num_partitions=args.partitions,
     )
-    result = _run(workload, args.speculative)
+    result = _run(workload, args.speculative, args.workers)
     points = np.stack([v for _k, v in records])
     quality = [[
         "Jagota index",
@@ -132,7 +138,7 @@ def cmd_pagerank(args) -> str:
         initial_model=program.initial_model(records),
         num_partitions=args.partitions,
     )
-    result = _run(workload, args.speculative)
+    result = _run(workload, args.speculative, args.workers)
     reference = nutch_pagerank(records)
     ranks = program.rank_vector(result.pic.model, args.vertices)
     rel_l1 = float(np.abs(ranks - reference).sum() / reference.sum())
@@ -157,7 +163,7 @@ def cmd_linsolve(args) -> str:
         initial_model=program.initial_model(records),
         num_partitions=args.partitions,
     )
-    result = _run(workload, args.speculative)
+    result = _run(workload, args.speculative, args.workers)
     err_ic = np.linalg.norm(
         program.solution_vector(result.ic.model, args.variables) - x_star
     )
@@ -184,7 +190,7 @@ def cmd_neuralnet(args) -> str:
         initial_model=program.initial_model(train, seed=args.seed + 2),
         num_partitions=args.partitions,
     )
-    result = _run(workload, args.speculative)
+    result = _run(workload, args.speculative, args.workers)
     quality = [[
         "validation error",
         f"{program.validation_error(result.ic.model, Xv, yv):.4f}",
@@ -208,7 +214,7 @@ def cmd_smoothing(args) -> str:
         initial_model=program.initial_model(records),
         num_partitions=args.partitions,
     )
-    result = _run(workload, args.speculative)
+    result = _run(workload, args.speculative, args.workers)
     return _report(result)
 
 

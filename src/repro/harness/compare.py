@@ -52,8 +52,14 @@ def compare_ic_pic(
     seed: Any = 3,
     max_iterations: int = 200,
     be_max_iterations: int = 30,
+    workers: int | None = None,
 ) -> ComparisonResult:
-    """Run IC then PIC from the *same* initial model on fresh clusters."""
+    """Run IC then PIC from the *same* initial model on fresh clusters.
+
+    ``workers`` sets host-side execution parallelism (``PIC_WORKERS``
+    when None); it changes wall-clock only — simulated results are
+    bit-identical for any worker count.
+    """
     ic_cluster = cluster_factory()
     ic = run_ic_baseline(
         ic_cluster,
@@ -61,6 +67,7 @@ def compare_ic_pic(
         records,
         initial_model=copy.deepcopy(initial_model),
         max_iterations=max_iterations,
+        workers=workers,
     )
     pic_cluster = cluster_factory()
     runner = PICRunner(
@@ -70,6 +77,7 @@ def compare_ic_pic(
         seed=seed,
         be_max_iterations=be_max_iterations,
         max_iterations=max_iterations,
+        workers=workers,
     )
     pic = runner.run(records, initial_model=copy.deepcopy(initial_model))
     return ComparisonResult(

@@ -41,6 +41,10 @@ class TaskContext:
         """Emit one key/value record."""
         self._output.append((key, value))
 
+    def emit_all(self, records: Sequence[tuple[Any, Any]]) -> None:
+        """Emit a batch of records at once (precomputed task outputs)."""
+        self._output.extend(records)
+
     @property
     def output(self) -> list[tuple[Any, Any]]:
         """Records emitted so far, in emission order."""

@@ -123,14 +123,31 @@ class DistributedDataset:
         partitions: Sequence[Sequence[tuple[Any, Any]]],
         placements: Sequence[int],
         replication: int = 1,
+        sizes: Sequence[int] | None = None,
     ) -> "DistributedDataset":
         """Build a dataset with one split per given partition, each
-        pinned to a chosen node (PIC's co-located sub-problem data)."""
+        pinned to a chosen node (PIC's co-located sub-problem data).
+
+        ``sizes`` passes along already-measured serialized sizes so a
+        caller that sized the partitions (e.g. for scatter accounting)
+        does not pay for a second walk over every record.
+        """
         if len(placements) != len(partitions):
             raise ValueError(
                 f"{len(partitions)} partitions but {len(placements)} placements"
             )
-        splits = [Split(index=i, records=list(p)) for i, p in enumerate(partitions)]
+        if sizes is not None and len(sizes) != len(partitions):
+            raise ValueError(
+                f"{len(partitions)} partitions but {len(sizes)} sizes"
+            )
+        splits = [
+            Split(
+                index=i,
+                records=list(p),
+                nbytes=sizes[i] if sizes is not None else -1,
+            )
+            for i, p in enumerate(partitions)
+        ]
         dataset = cls(path, splits, dfs)
         for split, node in zip(splits, placements):
             meta = dfs.namenode.create(

@@ -31,15 +31,34 @@ from repro.dfs.dfs import DistributedFileSystem
 from repro.mapreduce.job import Counters, JobResult, JobSpec, TaskContext
 from repro.mapreduce.records import DistributedDataset, group_by_key
 from repro.mapreduce.scheduler import SlotScheduler
+# Leaf-module import: repro.parallel's package __init__ pulls in
+# repro.parallel.tasks, which needs this package — importing the
+# executor module directly keeps the cycle open at one end.
+from repro.parallel.executor import TaskExecutor, get_executor
 from repro.util.sizing import sizeof_records
 
 
 class JobRunner:
-    """Runs MapReduce jobs on one cluster; slots persist across jobs."""
+    """Runs MapReduce jobs on one cluster; slots persist across jobs.
 
-    def __init__(self, cluster: Cluster, dfs: DistributedFileSystem) -> None:
+    ``executor`` controls where the *host* computes map-task outputs:
+    a parallel executor precomputes every (independent) map task of a
+    job across a process pool, and the simulated tasks replay those
+    outputs at their scheduled times — same records, same counters,
+    same simulated clock, less wall-clock.  Unpicklable job specs
+    (e.g. closure-based best-effort jobs) silently keep the in-process
+    path.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFileSystem,
+        executor: TaskExecutor | None = None,
+    ) -> None:
         self.cluster = cluster
         self.dfs = dfs
+        self.executor = executor or get_executor()
         self.map_scheduler = SlotScheduler(cluster, "map")
         self._reduce_capacity = {
             n.node_id: n.spec.reduce_slots for n in cluster.nodes
@@ -172,14 +191,36 @@ class _JobState:
         self.shuffle_bytes = 0
         self.output_bytes = 0
         self._job_map_stats: dict[int, dict[str, float]] = {}
+        self._premapped: list[tuple[list, dict]] | None = None
         self._done = False
 
     # -- launch ----------------------------------------------------------
 
     def launch(self) -> None:
         """Kick off the job after its startup overhead."""
+        self._premapped = self._precompute_maps()
         overhead = self.spec.costs.job_overhead_seconds
         self.cluster.sim.schedule(overhead, self._start_maps)
+
+    def _precompute_maps(self) -> list[tuple[list, dict]] | None:
+        """Run every map task's real computation through the executor.
+
+        Map tasks of one job are independent, so with a parallel
+        executor they all run concurrently *now* (host wall-clock) and
+        :meth:`_map_compute_phase` replays the recorded output at each
+        task's simulated compute time.  Returns ``None`` — keeping the
+        lazy in-process path — when the executor is serial or the job's
+        callables/model cannot cross a process boundary.
+        """
+        if not self.runner.executor.is_parallel:
+            return None
+        from repro.parallel.tasks import run_map_task
+
+        payloads = [
+            (self.spec, self.model, split.index, split.records)
+            for split in self.dataset.splits
+        ]
+        return self.runner.executor.map_or_none(run_map_task, payloads)
 
     def _start_maps(self) -> None:
         for split in self.dataset.splits:
@@ -309,7 +350,12 @@ class _JobState:
         # can depend on what the task actually did (ctx.stats).
         split = self.dataset.splits[split_index]
         ctx = TaskContext(model=self.model, split_index=split_index)
-        self.spec.run_mapper(ctx, split.records)
+        if self._premapped is not None:
+            output, stats = self._premapped[split_index]
+            ctx.emit_all(output)
+            ctx.stats.update(stats)
+        else:
+            self.spec.run_mapper(ctx, split.records)
         if ctx.stats:
             self._job_map_stats[split_index] = dict(ctx.stats)
         if self.spec.map_cost is not None:
@@ -331,19 +377,27 @@ class _JobState:
             p = self.spec.partitioner(key, self.num_reducers)
             buckets.setdefault(p, []).append((key, value))
         if self.spec.combiner is not None:
+            raw_bytes = sizeof_records(raw_output)
             for p, recs in buckets.items():
                 combined: list[tuple[Any, Any]] = []
                 for key, values in group_by_key(recs):
                     combined.append((key, self.spec.combiner(key, values)))
                 buckets[p] = combined
-        post_bytes = sum(sizeof_records(recs) for recs in buckets.values())
+            bucket_bytes = {p: sizeof_records(r) for p, r in buckets.items()}
+        else:
+            # No combiner: the buckets are exactly the raw output
+            # re-partitioned, so one sizing pass covers both totals.
+            bucket_bytes = {p: sizeof_records(r) for p, r in buckets.items()}
+            raw_bytes = sum(bucket_bytes.values())
+        post_bytes = sum(bucket_bytes.values())
         # Spill the (combined) map output to local disk before serving it.
         disk = self.cluster.nodes[attempt["node"]].spec.disk_bandwidth
-        raw_bytes = sizeof_records(raw_output)
         self._schedule_attempt(
             attempt,
             post_bytes / disk,
-            lambda: self._map_finish(attempt, buckets, len(raw_output), raw_bytes),
+            lambda: self._map_finish(
+                attempt, buckets, bucket_bytes, len(raw_output), raw_bytes
+            ),
         )
 
     def _map_attempt_failed(self, attempt: dict) -> None:
@@ -361,6 +415,7 @@ class _JobState:
         self,
         attempt: dict,
         buckets: dict[int, list[tuple[Any, Any]]],
+        bucket_bytes: dict[int, int],
         raw_records: int,
         raw_bytes: int,
     ) -> None:
@@ -384,7 +439,7 @@ class _JobState:
         self._maybe_speculate()
         for p in range(self.num_reducers):
             recs = buckets.get(p, [])
-            nbytes = sizeof_records(recs) if recs else 0
+            nbytes = bucket_bytes.get(p, 0)
             self.shuffle_bytes += nbytes
             dst = self.reduce_node[p]
             self.cluster.transfer(

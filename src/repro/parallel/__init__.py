@@ -1,0 +1,33 @@
+"""Host-side parallel execution of independent task computations.
+
+The simulator charges *simulated* time for map tasks, but the real
+Python computation inside each task (the best-effort local solves, the
+conventional mappers) historically ran sequentially in one process.
+This package runs those independent computations across a process pool
+while keeping every simulated metric bit-identical to serial execution:
+the pool only changes *when* the host computes a task's output, never
+*what* the output is or what the simulation charges for it.
+"""
+
+from repro.parallel.executor import (
+    ProcessPoolTaskExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    WORKERS_ENV_VAR,
+    get_executor,
+    resolve_workers,
+    shutdown_shared_pools,
+)
+from repro.parallel.tasks import run_map_task, solve_subproblem
+
+__all__ = [
+    "ProcessPoolTaskExecutor",
+    "SerialExecutor",
+    "TaskExecutor",
+    "WORKERS_ENV_VAR",
+    "get_executor",
+    "resolve_workers",
+    "run_map_task",
+    "shutdown_shared_pools",
+    "solve_subproblem",
+]

@@ -10,6 +10,7 @@ from repro.dfs.dfs import DistributedFileSystem
 from repro.mapreduce.driver import DriverResult, IterativeDriver
 from repro.mapreduce.records import DistributedDataset
 from repro.mapreduce.runner import JobRunner
+from repro.parallel import get_executor
 from repro.pic.api import PICProgram
 from repro.pic.engine import BestEffortEngine, BestEffortResult
 from repro.util.rng import SeedLike
@@ -85,6 +86,7 @@ class PICRunner:
         optimized_baseline: bool = True,
         distributed_merge: bool | None = None,
         speculative: bool = False,
+        workers: int | None = None,
     ) -> None:
         self.cluster = cluster
         self.program = program
@@ -95,6 +97,9 @@ class PICRunner:
         self.optimized_baseline = optimized_baseline
         self.distributed_merge = distributed_merge
         self.speculative = speculative
+        # Host-side execution parallelism (``PIC_WORKERS`` when None);
+        # affects wall-clock only, never the simulated run.
+        self.executor = get_executor(workers)
 
     def run(
         self,
@@ -129,6 +134,7 @@ class PICRunner:
             optimized_baseline=self.optimized_baseline,
             distributed_merge=self.distributed_merge,
             speculative=self.speculative,
+            executor=self.executor,
         )
         be = engine.run(records, initial_model)
         be_delta = cluster.meter.diff(meter_before)
@@ -144,7 +150,7 @@ class PICRunner:
         # Phase 2: top-off — the unmodified IC computation.
         topoff_start = cluster.now
         meter_before = cluster.meter.snapshot()
-        runner = JobRunner(cluster, dfs)
+        runner = JobRunner(cluster, dfs, executor=self.executor)
         driver = IterativeDriver(
             runner=runner,
             dataset=dataset,
@@ -187,6 +193,7 @@ def run_ic_baseline(
     optimized_baseline: bool = True,
     seed: SeedLike = 0,
     speculative: bool = False,
+    workers: int | None = None,
 ) -> DriverResult:
     """Run the conventional IC implementation (Figure 1(a)) on ``cluster``.
 
@@ -205,7 +212,7 @@ def run_ic_baseline(
         records,
         num_splits=max(1, cluster.topology.total_map_slots()),
     )
-    runner = JobRunner(cluster, dfs)
+    runner = JobRunner(cluster, dfs, executor=get_executor(workers))
     driver = IterativeDriver(
         runner=runner,
         dataset=dataset,

@@ -1,0 +1,58 @@
+"""Smoke tests for the wall-clock perf suite (benchmarks/perf)."""
+
+import json
+
+import pytest
+
+wallclock = pytest.importorskip("benchmarks.perf.wallclock")
+
+# A scaled-down config so the suite itself stays fast under pytest.
+TINY = dict(sizing_records=2_000, points=400, k=3, partitions=4,
+            job_records=800, e2e_points=400, repeats=1)
+
+
+@pytest.fixture
+def tiny_mode():
+    wallclock.SIZES["tiny"] = TINY
+    yield "tiny"
+    wallclock.SIZES.pop("tiny", None)
+
+
+def test_suite_runs_and_reports_every_bench(tiny_mode):
+    doc = wallclock.run_suite(tiny_mode)
+    assert set(doc["benches"]) == set(wallclock.BENCHES)
+    assert all(t > 0 for t in doc["benches"].values())
+    assert doc["meta"]["calibration_seconds"] > 0
+
+
+def test_check_passes_against_itself(tiny_mode, tmp_path):
+    doc = wallclock.run_suite(tiny_mode)
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(doc))
+    baseline = json.loads(path.read_text())
+    assert wallclock.check_against(doc, baseline, tolerance=0.25) == []
+
+
+def test_check_flags_regression(tiny_mode):
+    doc = wallclock.run_suite(tiny_mode)
+    slower = json.loads(json.dumps(doc))
+    slower["benches"]["sizing_homogeneous"] *= 10
+    failures = wallclock.check_against(slower, doc, tolerance=0.25)
+    assert len(failures) == 1
+    assert "sizing_homogeneous" in failures[0]
+
+
+def test_check_rejects_mode_mismatch(tiny_mode):
+    doc = wallclock.run_suite(tiny_mode)
+    other = json.loads(json.dumps(doc))
+    other["meta"]["mode"] = "full"
+    failures = wallclock.check_against(doc, other, tolerance=0.25)
+    assert failures and "mode mismatch" in failures[0]
+
+
+def test_trajectory_benches_exempt_from_gate(tiny_mode):
+    doc = wallclock.run_suite(tiny_mode)
+    slower = json.loads(json.dumps(doc))
+    for name in wallclock.TRAJECTORY_ONLY:
+        slower["benches"][name] *= 100
+    assert wallclock.check_against(slower, doc, tolerance=0.25) == []

@@ -1,0 +1,111 @@
+"""Unit tests for the host-side task executors."""
+
+import pytest
+
+from repro.parallel import (
+    ProcessPoolTaskExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    get_executor,
+    resolve_workers,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _first_element(payload):
+    return payload[0]
+
+
+class TestResolveWorkers:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("PIC_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_var_used_when_unspecified(self, monkeypatch):
+        monkeypatch.setenv("PIC_WORKERS", "4")
+        assert resolve_workers() == 4
+
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("PIC_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_blank_env_means_serial(self, monkeypatch):
+        monkeypatch.setenv("PIC_WORKERS", "  ")
+        assert resolve_workers() == 1
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("PIC_WORKERS", "many")
+        with pytest.raises(ValueError, match="PIC_WORKERS"):
+            resolve_workers()
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(0)
+
+
+class TestGetExecutor:
+    def test_one_worker_is_serial(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+
+    def test_many_workers_is_pool(self):
+        ex = get_executor(3)
+        assert isinstance(ex, ProcessPoolTaskExecutor)
+        assert ex.workers == 3
+        assert ex.is_parallel
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("PIC_WORKERS", raising=False)
+        assert isinstance(get_executor(), SerialExecutor)
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_map_or_none_declines(self):
+        assert SerialExecutor().map_or_none(_square, [1, 2]) is None
+
+    def test_not_parallel(self):
+        ex = SerialExecutor()
+        assert not ex.is_parallel
+        assert ex.workers == 1
+
+
+class TestProcessPoolExecutor:
+    def test_map_matches_serial(self):
+        payloads = list(range(20))
+        parallel = ProcessPoolTaskExecutor(2).map(_square, payloads)
+        assert parallel == SerialExecutor().map(_square, payloads)
+
+    def test_map_or_none_returns_ordered_results(self):
+        results = ProcessPoolTaskExecutor(2).map_or_none(
+            _first_element, [(i, "x") for i in range(10)]
+        )
+        assert results == list(range(10))
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        captured = []
+
+        def closure(x):  # closes over captured -> unpicklable
+            captured.append(x)
+            return -x
+
+        ex = ProcessPoolTaskExecutor(2)
+        assert ex.map_or_none(closure, [1, 2, 3]) is None
+        assert ex.map(closure, [1, 2, 3]) == [-1, -2, -3]
+        assert captured == [1, 2, 3]  # ran in this process
+
+    def test_unpicklable_payload_falls_back(self):
+        payloads = [lambda: 1, lambda: 2]
+        ex = ProcessPoolTaskExecutor(2)
+        assert ex.map_or_none(_first_element, [(p,) for p in payloads]) is None
+
+    def test_single_payload_stays_in_process(self):
+        # One task gains nothing from a pool round-trip.
+        assert ProcessPoolTaskExecutor(2).map_or_none(_square, [5]) is None
+
+    def test_base_class_contract(self):
+        assert isinstance(ProcessPoolTaskExecutor(2), TaskExecutor)

@@ -116,13 +116,28 @@ class TestTraffic:
     def test_repartition_charged_once(self):
         from repro.util.sizing import sizeof_records
 
-        cluster, _p, engine = make_engine(be_max_iterations=5, threshold=1e-12)
+        cluster, prog, engine = make_engine(be_max_iterations=5, threshold=1e-12)
         engine.run(RECORDS, {"mean": 0.0})
         repartition = cluster.meter.total("repartition")
         assert repartition > 0
         # Co-location is a one-time cost: at most one pass over the data,
         # regardless of how many best-effort rounds ran.
         assert repartition <= sizeof_records(RECORDS)
+        # The scatter is aggregated into node-pair flows, but the byte
+        # total must equal the per-partition accounting exactly: each
+        # partition ships (n-1)/n of its bytes to its home node.
+        n = cluster.num_nodes
+        pairs = prog.partition(RECORDS, {"mean": 0.0}, 4, seed=engine.seed)
+        expected = sum(sizeof_records(recs) * (n - 1) / n for recs, _m in pairs)
+        assert repartition == pytest.approx(expected, rel=1e-12)
+
+    def test_colocation_scatter_aggregated_per_node_pair(self):
+        # 10 partitions on 4 nodes used to issue 10*(4-1)=30 scatter
+        # flows; aggregation bounds them by the n*(n-1) node pairs.
+        cluster, _p, engine = make_engine(num_partitions=10)
+        engine.run(RECORDS, {"mean": 0.0})
+        n = cluster.num_nodes
+        assert 0 < cluster.meter.transfers("repartition") <= n * (n - 1)
 
     def test_model_updates_per_round(self):
         cluster, _p, engine = make_engine()

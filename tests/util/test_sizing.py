@@ -93,3 +93,68 @@ class TestRecords:
         total = sizeof_records(records)
         assert total > 0
         assert sizeof_records(records[:-1]) < total
+
+
+def _reference_size(records):
+    return sum(sizeof_record(k, v) for k, v in records)
+
+
+# Value pools mirroring what the five apps emit, plus the odd shapes
+# (bools, None, nested containers) that must punt to the generic path.
+_keys = st.one_of(
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=8),
+    st.booleans(),
+)
+_values = st.one_of(
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+    st.builds(lambda n: np.arange(n, dtype=np.float64), st.integers(0, 5)),
+    st.builds(lambda n: np.arange(n, dtype=np.float32), st.integers(0, 5)),
+    st.lists(st.integers(), max_size=3),
+)
+
+
+class TestFastPath:
+    """The vectorized homogeneous-batch path must equal the reference."""
+
+    @given(st.lists(st.tuples(_keys, _values), max_size=64))
+    def test_mixed_batches_match_reference(self, records):
+        assert sizeof_records(records) == _reference_size(records)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(),
+                st.builds(lambda n: np.arange(n, dtype=np.float64), st.integers(0, 8)),
+            ),
+            min_size=20,
+            max_size=64,
+        )
+    )
+    def test_homogeneous_int_ndarray_batch(self, records):
+        assert sizeof_records(records) == _reference_size(records)
+
+    @given(
+        st.lists(
+            st.tuples(st.text(max_size=12), st.floats(allow_nan=False)),
+            min_size=20,
+            max_size=64,
+        )
+    )
+    def test_homogeneous_str_float_batch(self, records):
+        assert sizeof_records(records) == _reference_size(records)
+
+    def test_bool_tail_bails_to_generic(self):
+        # bool is an int subclass but sizes to 1 byte; a stray bool in a
+        # large "int" batch must not be sized as a fixed 8-byte scalar.
+        records = [(i, float(i)) for i in range(40)] + [(True, 1.0)]
+        assert sizeof_records(records) == _reference_size(records)
+
+    def test_numpy_scalar_tail_bails_to_generic(self):
+        records = [(i, float(i)) for i in range(40)] + [(np.int64(1), 2.0)]
+        assert sizeof_records(records) == _reference_size(records)
