@@ -54,9 +54,9 @@ def _time_best_of(fn: Callable[[], Any], repeats: int) -> float:
     noise-robust statistic for microbenchmarks)."""
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = time.perf_counter()  # pic: noqa: PIC001 (host time IS the measurand)
         fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, time.perf_counter() - start)  # pic: noqa: PIC001
     return best
 
 

@@ -14,7 +14,6 @@ import dataclasses
 from benchmarks.conftest import cached, run_once
 from repro.harness import compare_ic_pic
 from repro.harness.workloads import kmeans_small
-from repro.mapreduce.costs import CostHints
 from repro.util.formatting import render_table
 
 RATIOS = (0.05, 0.1, 0.25, 0.5)

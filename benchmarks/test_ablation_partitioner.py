@@ -13,8 +13,8 @@ import numpy as np
 from benchmarks.conftest import cached, run_once
 from repro.analysis.coupling import graph_coupling_epsilon
 from repro.apps.pagerank import PageRankProgram, local_web_graph, nutch_pagerank
-from repro.harness import compare_ic_pic
 from repro.cluster.presets import small_cluster
+from repro.harness import compare_ic_pic
 from repro.util.formatting import render_table
 
 NUM_VERTICES = 10_000

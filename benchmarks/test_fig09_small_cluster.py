@@ -6,8 +6,6 @@ We reproduce the same three applications at scaled size and report the
 same bars: runtime (IC vs PIC) and speedup.
 """
 
-import numpy as np
-
 from benchmarks.conftest import cached, run_once
 from repro.harness import compare_ic_pic
 from repro.harness.workloads import kmeans_small, linsolve_small, pagerank_small

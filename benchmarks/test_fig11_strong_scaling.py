@@ -6,8 +6,6 @@ sweep) — "the PIC library does not have any negative impact on the
 scalability of Hadoop".
 """
 
-import numpy as np
-
 from benchmarks.conftest import cached, run_once
 from repro.harness import compare_ic_pic
 from repro.harness.workloads import smoothing_large

@@ -13,7 +13,6 @@ import numpy as np
 
 from benchmarks.conftest import cached, run_once
 from repro.apps.kmeans import centroid_displacement, lloyd
-from repro.apps.linsolve import jacobi
 from repro.harness.tracing import trace_ic, trace_pic
 from repro.harness.workloads import (
     kmeans_small,

@@ -10,11 +10,11 @@ of the quality of the baseline IC implementation".
 import numpy as np
 
 from benchmarks.conftest import cached, run_once
+from repro.apps.kmeans import jagota_index
 from repro.harness.workloads import kmeans_table3
 from repro.pic.engine import BestEffortEngine
 from repro.pic.runner import run_ic_baseline
 from repro.util.formatting import render_table
-from repro.apps.kmeans import jagota_index
 
 
 def dataset_row(dataset: int):

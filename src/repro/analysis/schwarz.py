@@ -31,7 +31,7 @@ def _check_partition(A: np.ndarray, assignment: np.ndarray) -> int:
 def block_jacobi_preconditioner(A: np.ndarray, assignment: np.ndarray) -> np.ndarray:
     """B = blockdiag(A) under the given partition assignment."""
     assignment = np.asarray(assignment)
-    n = _check_partition(A, assignment)
+    _check_partition(A, assignment)
     B = np.zeros_like(np.asarray(A, dtype=float))
     for p in np.unique(assignment):
         idx = np.where(assignment == p)[0]

@@ -9,8 +9,6 @@ geometrically like the paper's Table I.
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
 
 from repro.util.rng import SeedLike, as_generator

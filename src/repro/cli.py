@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.presets import large_cluster, medium_cluster, small_cluster
-from repro.harness.compare import ComparisonResult, compare_ic_pic
+from repro.harness.compare import ComparisonResult
 from repro.util.formatting import human_bytes, human_time, render_table
 
 CLUSTERS: dict[str, Callable[[], Cluster]] = {

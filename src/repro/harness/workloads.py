@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-import numpy as np
-
 from repro.apps.kmeans import KMeansProgram, gaussian_mixture
 from repro.apps.linsolve import LinearSolverProgram, diagonally_dominant_system
 from repro.apps.linsolve.datagen import system_records

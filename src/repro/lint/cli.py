@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro.lint`` / ``pic-lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import Rule, all_rules, rules_by_id
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pic-lint",
+        description=(
+            "Static analysis for simulator invariants: determinism, "
+            "callback purity/picklability, and byte accounting."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help="files or directories to lint (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _parse_rule_ids(raw: str, parser: argparse.ArgumentParser) -> set[str]:
+    known = rules_by_id()
+    ids = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    unknown = ids - known.keys()
+    if unknown:
+        parser.error(
+            f"unknown rule ID(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return ids
+
+
+def _active_rules(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> list[Rule]:
+    rules = all_rules()
+    if args.select:
+        selected = _parse_rule_ids(args.select, parser)
+        rules = [r for r in rules if r.rule_id in selected]
+    if args.ignore:
+        ignored = _parse_rule_ids(args.ignore, parser)
+        rules = [r for r in rules if r.rule_id not in ignored]
+    return rules
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    try:
+        findings, errors, files_checked = lint_paths(
+            args.paths, rules=_active_rules(args, parser)
+        )
+    except FileNotFoundError as exc:
+        print(f"pic-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        counts = Counter(f.rule for f in findings)
+        payload = {
+            "version": JSON_SCHEMA_VERSION,
+            "files_checked": files_checked,
+            "findings": [f.to_json() for f in findings],
+            "counts": dict(sorted(counts.items())),
+            "total": len(findings),
+            "errors": errors,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun} in {files_checked} files")
+
+    for err in errors:
+        print(f"pic-lint: error: {err}", file=sys.stderr)
+    if errors:
+        return 2
+    return 1 if findings else 0

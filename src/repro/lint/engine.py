@@ -1,0 +1,73 @@
+"""File collection and rule execution."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.model import Finding, LintParseError
+from repro.lint.module import LintModule
+from repro.lint.noqa import filter_findings, suppressions
+from repro.lint.rules import Rule, all_rules
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", ".eggs", "build", "dist"})
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deterministically ordered."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        elif path.suffix == ".py" or path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_source(
+    source: str, path: str = "<memory>", rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint one source string; noqa suppressions are honoured."""
+    module = LintModule(path, source)
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.check(module))
+    findings = filter_findings(findings, suppressions(path, source))
+    return sorted(findings)
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintParseError(str(p), f"cannot read: {exc}")
+    return lint_source(source, path=str(p), rules=rules)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> tuple[list[Finding], list[str], int]:
+    """Lint files/directories.
+
+    Returns ``(findings, errors, files_checked)`` where ``errors`` are
+    human-readable messages for files that could not be read or parsed.
+    """
+    findings: list[Finding] = []
+    errors: list[str] = []
+    files = iter_python_files(paths)
+    for file in files:
+        try:
+            findings.extend(lint_file(file, rules=rules))
+        except LintParseError as exc:
+            errors.append(str(exc))
+    return sorted(findings), errors, len(files)

@@ -1,0 +1,129 @@
+"""Parsed-module wrapper shared by every rule.
+
+A :class:`LintModule` owns the AST plus the derived maps rules need:
+parent links (``ast`` has none), an import-alias table for resolving
+dotted call names back to canonical module paths, and scope-restricted
+walking (so per-function name analysis does not leak across nested
+functions).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.model import Finding, LintParseError
+
+#: Scope-introducing statement nodes (lambdas carry no statements and
+#: class bodies are their own namespace).
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class LintModule:
+    """One source file, parsed and indexed for rule checks."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise LintParseError(path, f"syntax error: {exc.msg} (line {exc.lineno})")
+        self.aliases = _import_aliases(self.tree)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self.parents.get(node)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of an attribute chain rooted at an import.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` when the
+        module did ``import numpy as np``; names that are not rooted at
+        an imported binding resolve to ``None`` (so local variables that
+        shadow module names cannot false-positive).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule_id,
+            message=message,
+        )
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted names they import."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.asname is not None:
+                    aliases[a.asname] = a.name
+                else:
+                    aliases[a.name.split(".")[0]] = a.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def bare_name(node: ast.expr) -> str | None:
+    """The identifier of a plain ``Name`` expression, else ``None``."""
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def tail_name(node: ast.expr) -> str | None:
+    """The final identifier of a name or attribute chain (``a.b.C`` → ``C``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return bare_name(node)
+
+
+def walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested scope bodies.
+
+    Comprehensions are *not* treated as separate scopes: their iterable
+    expressions belong, for our ordering analysis, to the enclosing
+    function.
+    """
+    if isinstance(scope, _SCOPE_NODES):
+        roots: list[ast.AST] = list(scope.body)
+    else:
+        roots = list(ast.iter_child_nodes(scope))
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            # Yield the nested scope node itself (above) but not its body.
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield the module and every (possibly nested) function scope."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,62 @@
+"""Rule base class and the registry of shipped rules.
+
+Each rule family maps to one simulator invariant (see DESIGN.md §7):
+
+* ``PIC0xx`` — determinism of replay;
+* ``PIC1xx`` — purity/picklability of user callbacks;
+* ``PIC2xx`` — bytes-conserving flow accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.model import Finding
+
+if TYPE_CHECKING:
+    from repro.lint.module import LintModule
+
+
+class Rule(abc.ABC):
+    """One machine-checked invariant with a stable ID."""
+
+    #: Stable identifier, e.g. ``PIC001``.
+    rule_id: str = ""
+    #: One-line description shown by ``--list-rules`` and in README.
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: "LintModule") -> Iterator[Finding]:
+        """Yield findings for ``module``."""
+
+    def finding(self, module: "LintModule", node: object, message: str) -> Finding:
+        """Anchor a finding for this rule at ``node``."""
+        return module.finding(self.rule_id, node, message)  # type: ignore[arg-type]
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule, in ID order."""
+    from repro.lint.rules.determinism import (
+        SetIterationOrderRule,
+        UnseededRandomRule,
+        WallClockRule,
+    )
+    from repro.lint.rules.purity import CallbackPurityRule, TaskSpecPicklabilityRule
+    from repro.lint.rules.sizing import GetsizeofRule, RawLenByteCountRule
+
+    rules: list[Rule] = [
+        WallClockRule(),
+        UnseededRandomRule(),
+        SetIterationOrderRule(),
+        TaskSpecPicklabilityRule(),
+        CallbackPurityRule(),
+        GetsizeofRule(),
+        RawLenByteCountRule(),
+    ]
+    return sorted(rules, key=lambda r: r.rule_id)
+
+
+def rules_by_id() -> dict[str, Rule]:
+    """Map rule IDs to rule instances."""
+    return {rule.rule_id: rule for rule in all_rules()}

@@ -6,7 +6,6 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.cluster.metrics import TrafficCategory
 from repro.dfs.dfs import DistributedFileSystem
 from repro.util.sizing import sizeof_records
 
@@ -42,8 +41,12 @@ def hash_partitioner(key: Any, num_partitions: int) -> int:
 def group_by_key(records: Iterable[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
     """Group values by key, in sorted key order when keys are sortable.
 
-    This mirrors Hadoop's sort phase; falling back to first-seen order
-    keeps heterogeneous keys deterministic.
+    This mirrors Hadoop's sort phase.  Mixed-type key sets (unorderable
+    in Python 3) fall back to sorting by ``(type qualname, repr)``:
+    qualifying by type first keeps keys of different types from
+    interleaving on repr collisions (``1`` vs ``np.int64(1)`` both repr
+    as ``"1"``), so the order is deterministic and same-type keys stay
+    grouped together.
     """
     grouped: dict[Any, list[Any]] = {}
     for key, value in records:
@@ -51,7 +54,10 @@ def group_by_key(records: Iterable[tuple[Any, Any]]) -> list[tuple[Any, list[Any
     try:
         items = sorted(grouped.items(), key=lambda kv: kv[0])
     except TypeError:
-        items = sorted(grouped.items(), key=lambda kv: repr(kv[0]))
+        items = sorted(
+            grouped.items(),
+            key=lambda kv: (type(kv[0]).__qualname__, repr(kv[0])),
+        )
     return items
 
 

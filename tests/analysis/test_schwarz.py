@@ -10,8 +10,8 @@ from repro.analysis.schwarz import (
     schwarz_convergence_factor,
     schwarz_iteration_matrix,
 )
-from repro.apps.linsolve import diagonally_dominant_system, jacobi_iteration_matrix
 from repro.analysis.rates import spectral_radius
+from repro.apps.linsolve import diagonally_dominant_system, jacobi_iteration_matrix
 
 
 class TestPreconditioner:

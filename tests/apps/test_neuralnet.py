@@ -81,7 +81,6 @@ class TestMLP:
         _loss, grads = loss_and_gradients(params, X, y)
         eps = 1e-6
         for key in PARAM_KEYS:
-            flat = params[key].ravel()
             idx = 0  # check the first coordinate of each tensor
             bumped = {k: v.copy() for k, v in params.items()}
             bumped[key].ravel()[idx] += eps

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.flows import LOCAL_COPY_BANDWIDTH
-from repro.cluster.topology import GIGABIT, NodeSpec
+from repro.cluster.topology import GIGABIT
 
 
 def make_cluster(num_nodes=8, nodes_per_rack=4, **kw) -> Cluster:

@@ -5,7 +5,6 @@ for a representative slice of each application.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.kmeans import KMeansProgram, gaussian_mixture
 from repro.apps.pagerank import PageRankProgram, local_web_graph

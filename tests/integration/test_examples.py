@@ -8,8 +8,6 @@ are exercised there; these three finish in seconds.)
 import runpy
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 

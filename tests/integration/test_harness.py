@@ -1,12 +1,9 @@
 """Tests for the benchmark harness plumbing."""
 
-import pytest
-
 from repro.harness import compare_ic_pic
 from repro.harness.workloads import (
     Workload,
     kmeans_small,
-    kmeans_table1,
     kmeans_table1_sizes,
     kmeans_table3,
     linsolve_small,

@@ -1,0 +1,124 @@
+"""``# pic: noqa`` suppression scoping."""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.noqa import suppressions
+
+FLAGGED = """
+import time
+
+t0 = time.time()
+"""
+
+
+def rules_found(source):
+    return [f.rule for f in lint_source(textwrap.dedent(source))]
+
+
+class TestBlanketNoqa:
+    def test_blanket_suppresses_everything_on_line(self):
+        assert rules_found(
+            """
+            import time
+
+            t0 = time.time()  # pic: noqa
+            """
+        ) == []
+
+    def test_blanket_is_line_scoped(self):
+        # The noqa on line 4 does not cover the violation on line 5.
+        assert rules_found(
+            """
+            import time
+
+            t0 = time.time()  # pic: noqa
+            t1 = time.time()
+            """
+        ) == ["PIC001"]
+
+    def test_unsuppressed_baseline(self):
+        assert rules_found(FLAGGED) == ["PIC001"]
+
+
+class TestRuleSpecificNoqa:
+    def test_matching_rule_id_suppresses(self):
+        assert rules_found(
+            """
+            import time
+
+            t0 = time.time()  # pic: noqa: PIC001
+            """
+        ) == []
+
+    def test_bracket_form_suppresses(self):
+        assert rules_found(
+            """
+            import time
+
+            t0 = time.time()  # pic: noqa[PIC001]
+            """
+        ) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        assert rules_found(
+            """
+            import time
+
+            t0 = time.time()  # pic: noqa: PIC101
+            """
+        ) == ["PIC001"]
+
+    def test_multiple_ids_each_apply(self):
+        assert rules_found(
+            """
+            import random
+            import time
+
+            t0 = time.time() + random.random()  # pic: noqa: PIC001,PIC002
+            """
+        ) == []
+
+    def test_partial_suppression_keeps_other_rule(self):
+        assert rules_found(
+            """
+            import random
+            import time
+
+            t0 = time.time() + random.random()  # pic: noqa: PIC001
+            """
+        ) == ["PIC002"]
+
+    def test_case_insensitive_ids(self):
+        assert rules_found(
+            """
+            import time
+
+            t0 = time.time()  # pic: noqa: pic001
+            """
+        ) == []
+
+    def test_trailing_justification_text_allowed(self):
+        assert rules_found(
+            """
+            import time
+
+            t0 = time.time()  # pic: noqa: PIC001 (host time IS the measurand)
+            """
+        ) == []
+
+
+class TestSuppressionParsing:
+    def test_noqa_inside_string_literal_ignored(self):
+        # tokenize-based scan: a string mentioning the marker is not a
+        # suppression comment.
+        source = 's = "# pic: noqa"\n'
+        assert suppressions("<memory>", source) == {}
+
+    def test_blanket_maps_to_none(self):
+        source = "x = 1  # pic: noqa\n"
+        assert suppressions("<memory>", source) == {1: None}
+
+    def test_specific_maps_to_ids(self):
+        source = "x = 1  # pic: noqa: PIC001, PIC202\n"
+        assert suppressions("<memory>", source) == {1: frozenset({"PIC001", "PIC202"})}

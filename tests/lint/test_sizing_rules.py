@@ -1,0 +1,117 @@
+"""PIC201/PIC202: byte-accounting rules."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def rules_found(source):
+    return [f.rule for f in lint_source(textwrap.dedent(source))]
+
+
+class TestGetsizeof:
+    def test_sys_getsizeof_flagged(self):
+        assert rules_found(
+            """
+            import sys
+
+            def size(records):
+                return sys.getsizeof(records)
+            """
+        ) == ["PIC201"]
+
+    def test_from_import_flagged(self):
+        assert rules_found(
+            """
+            from sys import getsizeof
+
+            def size(records):
+                return getsizeof(records)
+            """
+        ) == ["PIC201"]
+
+    def test_sizing_helpers_are_fine(self):
+        assert rules_found(
+            """
+            from repro.util.sizing import sizeof_records
+
+            def size(records):
+                return sizeof_records(records)
+            """
+        ) == []
+
+
+class TestRawLenByteCount:
+    def test_len_as_nbytes_kwarg_flagged(self):
+        assert rules_found(
+            """
+            def ship(sim, records):
+                sim.transfer("a", "b", nbytes=len(records))
+            """
+        ) == ["PIC202"]
+
+    def test_len_as_flow_size_flagged(self):
+        assert rules_found(
+            """
+            from repro.cluster.flows import Flow
+
+            def ship(records):
+                return Flow(src=0, dst=1, size=len(records))
+            """
+        ) == ["PIC202"]
+
+    def test_len_positional_in_start_flow_flagged(self):
+        assert rules_found(
+            """
+            def ship(net, records):
+                net.start_flow("a", "b", len(records))
+            """
+        ) == ["PIC202"]
+
+    def test_getsizeof_as_size_bytes_flagged(self):
+        findings = rules_found(
+            """
+            import sys
+
+            def ship(sim, payload):
+                sim.account(size_bytes=sys.getsizeof(payload))
+            """
+        )
+        # Both the getsizeof call itself and its use as a byte count.
+        assert sorted(findings) == ["PIC201", "PIC202"]
+
+    def test_sizeof_records_as_nbytes_is_fine(self):
+        assert rules_found(
+            """
+            from repro.util.sizing import sizeof_records
+
+            def ship(sim, records):
+                sim.transfer("a", "b", nbytes=sizeof_records(records))
+            """
+        ) == []
+
+    def test_nbytes_attribute_is_fine(self):
+        assert rules_found(
+            """
+            def ship(sim, split):
+                sim.transfer("a", "b", nbytes=split.nbytes)
+            """
+        ) == []
+
+    def test_len_for_record_count_is_fine(self):
+        # len() is legitimate when it counts records, not bytes.
+        assert rules_found(
+            """
+            def count(records):
+                return len(records)
+            """
+        ) == []
+
+    def test_unrelated_size_kwarg_is_fine(self):
+        # size= on a non-Flow constructor is not a byte count.
+        assert rules_found(
+            """
+            def build(items):
+                return Batch(size=len(items))
+            """
+        ) == []

@@ -65,6 +65,49 @@ class TestGroupByKey:
         out = group_by_key([((1, 2), "a"), ("s", "b")])
         assert len(out) == 2
 
+    def test_mixed_key_fallback_key_order_is_arrival_independent(self):
+        # Unorderable key sets must come out in the same key order no
+        # matter how records arrive (reducer input order must not depend
+        # on mapper completion order). Value order within a group still
+        # tracks arrival order, like Hadoop's unsorted reduce values.
+        records = [(1, "a"), ("1", "b"), ((1,), "c"), (None, "d"), (1, "e")]
+        baseline = group_by_key(records)
+        keys = [k for k, _ in baseline]
+        assert [k for k, _ in group_by_key(reversed(records))] == keys
+        assert keys == sorted(
+            {1, "1", (1,), None}, key=lambda k: (type(k).__qualname__, repr(k))
+        )
+        assert dict(baseline)[1] == ["a", "e"]
+
+    def test_mixed_key_fallback_separates_repr_collisions(self):
+        # Distinct keys of different types whose reprs collide ("1" for
+        # both) would tie under a repr-only sort, letting dict insertion
+        # order (= arrival order) pick the winner. Qualifying by type
+        # qualname breaks the tie deterministically.
+        class Alpha:
+            def __init__(self, n):
+                self.n = n
+
+            def __repr__(self):
+                return repr(self.n)
+
+            def __hash__(self):
+                return hash(self.n)
+
+            def __eq__(self, other):
+                return type(other) is type(self) and other.n == self.n
+
+        class Beta(Alpha):
+            pass
+
+        records = [(Beta(1), "b"), (Alpha(1), "a"), (None, "n")]
+        keys_fwd = [k for k, _ in group_by_key(records)]
+        keys_rev = [k for k, _ in group_by_key(reversed(records))]
+        assert keys_fwd == keys_rev
+        assert len(keys_fwd) == 3
+        types = [type(k).__qualname__ for k in keys_fwd]
+        assert types == sorted(types)
+
     def test_empty(self):
         assert group_by_key([]) == []
 

@@ -10,8 +10,6 @@ from repro.mapreduce.records import DistributedDataset
 from repro.mapreduce.runner import JobRunner
 from repro.pic.runner import PICRunner
 from repro.yarn import (
-    MAP_PROFILE,
-    REDUCE_PROFILE,
     Resource,
     ResourceManager,
     YarnJobRunner,
