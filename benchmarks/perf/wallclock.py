@@ -9,6 +9,10 @@ Times the host-side hot paths of the reproduction:
 * ``shuffle_accounting_job`` — a full MapReduce job on the simulated
   cluster, dominated by map output bucketing/sizing/shuffle bookkeeping;
 * ``end_to_end_pic`` — a complete two-phase PIC run;
+* ``flow_fanout_64`` / ``flow_fanout_256`` — an all-to-all shuffle wave
+  on the flow simulator (64/256 nodes, heterogeneous sizes), timing the
+  structure-of-arrays rate recomputation and same-horizon completion
+  batching at scale;
 * ``solve_parallel_w{N}`` — the same solves through the process pool
   (reported for trajectory; multi-core hosts should see < serial).
 
@@ -43,9 +47,11 @@ DEFAULT_BASELINE = os.path.join(
 
 SIZES = {
     "smoke": dict(sizing_records=20_000, points=4_000, k=5, partitions=6,
-                  job_records=8_000, e2e_points=4_000, repeats=3),
+                  job_records=8_000, e2e_points=4_000, fanout_classes=11,
+                  repeats=3),
     "full": dict(sizing_records=200_000, points=40_000, k=10, partitions=24,
-                 job_records=40_000, e2e_points=20_000, repeats=5),
+                 job_records=40_000, e2e_points=20_000, fanout_classes=23,
+                 repeats=5),
 }
 
 
@@ -196,12 +202,53 @@ def bench_end_to_end_pic(cfg) -> Callable[[], None]:
     return run
 
 
+def _make_flow_fanout(num_nodes: int):
+    """All-to-all shuffle wave on the flow simulator.
+
+    Every node sends one flow to every other node; byte counts cycle
+    through ``fanout_classes`` distinct sizes (a prime count keeps the
+    completion horizons heterogeneous — avoid 7 and 13, which divide
+    the hash multipliers and collapse the class pattern).  This is the
+    workload the structure-of-arrays rewrite targets: tens of thousands
+    of concurrent flows contending for oversubscribed rack uplinks.
+    """
+
+    def bench(cfg) -> Callable[[], None]:
+        classes = cfg["fanout_classes"]
+
+        def run() -> None:
+            from repro.cluster.cluster import Cluster
+
+            cluster = Cluster(
+                num_nodes=num_nodes, nodes_per_rack=16, oversubscription=4.0
+            )
+            requests = [
+                (
+                    src,
+                    dst,
+                    2e7 * (1 + ((7 * src + 13 * dst) % classes) / classes),
+                    "shuffle",
+                )
+                for src in range(num_nodes)
+                for dst in range(num_nodes)
+                if src != dst
+            ]
+            cluster.transfer_batch(requests)
+            cluster.run()
+
+        return run
+
+    return bench
+
+
 BENCHES: dict[str, Callable[[dict], Callable[[], None]]] = {
     "sizing_homogeneous": bench_sizing_homogeneous,
     "sizing_mixed": bench_sizing_mixed,
     "partition_solve_merge": bench_partition_solve_merge,
     "shuffle_accounting_job": bench_shuffle_accounting_job,
     "end_to_end_pic": bench_end_to_end_pic,
+    "flow_fanout_64": _make_flow_fanout(64),
+    "flow_fanout_256": _make_flow_fanout(256),
 }
 
 # Pool benches are trajectory-only: their wall-clock depends on host

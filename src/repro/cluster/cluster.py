@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.cluster.events import Simulation
-from repro.cluster.flows import Flow, FlowNetwork
+from repro.cluster.flows import Flow, FlowNetwork, FlowRequest
 from repro.cluster.metrics import TrafficMeter
 from repro.cluster.topology import Node, NodeSpec, Topology
 
@@ -75,6 +75,15 @@ class Cluster:
     ) -> Flow:
         """Start a flow; completion is delivered on the simulated clock."""
         return self.network.start_flow(src, dst, nbytes, category, on_complete)
+
+    def transfer_batch(self, requests: Iterable[FlowRequest]) -> list[Flow]:
+        """Start many flows in one call (a shuffle wave, a scatter).
+
+        Each request is ``(src, dst, nbytes, category)`` optionally
+        followed by an ``on_complete`` callback; semantics are identical
+        to calling :meth:`transfer` per request.
+        """
+        return self.network.start_flows(requests)
 
     def run(self, max_events: int | None = 10_000_000) -> None:
         """Drain the event queue (i.e. let all in-flight work finish)."""

@@ -16,9 +16,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
-    """A scheduled callback.  Ordered by (time, sequence number)."""
+    """A scheduled callback.  Ordered by (time, sequence number).
+
+    Slotted: the flow simulator allocates (and lazily cancels) one of
+    these per replan, so size and attribute-access cost matter.
+    """
 
     time: float
     seq: int

@@ -13,53 +13,140 @@ This is the fluid approximation commonly used for data-centre studies;
 it captures exactly the effect the paper's argument depends on — many
 concurrent shuffle flows contending for scarce rack uplinks — without
 modelling TCP dynamics.
+
+Internally the active set is **structure-of-arrays** state: ``remaining``
+bytes, current ``rate``, completion epsilon, and the padded link-id
+incidence matrix live in standing NumPy arrays indexed by a dense row
+number.  Rows are added at the end and removed by swapping the last row
+into the hole, so flow add/remove is O(1) amortized, and every per-event
+operation (progress advance, horizon planning, completion scan) is a
+vectorized pass over ``[:n]`` slices with no per-flow Python loops.  A
+standing link → flow incidence (per-link row arrays, also maintained
+incrementally) lets each progressive-filling round touch only the links
+it saturates and the flows it freezes, instead of rescanning the active
+set.  All completions landing at the same horizon drain in a single
+event.  The arithmetic is element-for-element the same IEEE operations
+the per-object implementation performed, so simulated seconds and byte
+accounting are bit-identical (see ``tests/cluster/reference_flows.py``
+and ``tests/cluster/test_flow_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.cluster.events import Event, Simulation
 from repro.cluster.metrics import TrafficMeter
-from repro.cluster.topology import Link, Topology
+from repro.cluster.topology import MAX_PATH_LINKS, Link, Route, Topology
 
 # Flows with fewer remaining bytes than this are considered complete; it
 # absorbs float rounding from repeated progress updates.
 _REMAINING_EPS = 1e-6
 
+# The absolute epsilon alone is wrong for huge flows: one ULP of a
+# multi-GB byte count exceeds 1e-6, so rounding in ``remaining - rate*dt``
+# could leave a "finished" flow microscopically short and spawn a cascade
+# of near-zero-length completion events.  The completion threshold is
+# therefore scale-aware: proportional to the flow size, floored at the
+# absolute epsilon for small flows.
+_REMAINING_REL_EPS = 1e-9
+
 # Intra-node "transfers" (src == dst) bypass the fabric but still cost a
 # memory/loopback copy at this bandwidth.
 LOCAL_COPY_BANDWIDTH = 2e9  # bytes/s
 
+# One bulk-start request: (src, dst, nbytes, category[, on_complete]).
+FlowRequest = Sequence
 
-@dataclass
+# Initial row capacity of the structure-of-arrays state.
+_INITIAL_ROWS = 64
+
+
+def completion_eps(size: float) -> float:
+    """Remaining-byte threshold below which a flow of ``size`` is done."""
+    return max(_REMAINING_EPS, _REMAINING_REL_EPS * size)
+
+
 class Flow:
-    """One in-flight transfer."""
+    """One in-flight transfer.
 
-    flow_id: int
-    src: int
-    dst: int
-    size: float
-    links: list[Link]
-    category: str
-    on_complete: Callable[["Flow"], None] | None
-    started_at: float
-    remaining: float = field(init=False)
-    rate: float = field(default=0.0, init=False)
-    completed_at: float | None = field(default=None, init=False)
+    While the flow occupies fabric links, its ``remaining`` and ``rate``
+    live in the owning :class:`FlowNetwork`'s arrays (``_row`` is the
+    index); the properties read through.  Once finished (or for
+    intra-node copies that never touch the arrays) the values are plain
+    scalars captured at detach time.
+    """
 
-    def __post_init__(self) -> None:
-        self.remaining = float(self.size)
+    __slots__ = (
+        "flow_id", "src", "dst", "size", "links", "category",
+        "on_complete", "started_at", "completed_at",
+        "_net", "_row", "_remaining", "_rate", "_ptuple",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        size: float,
+        links: tuple[Link, ...],
+        category: str,
+        on_complete: Callable[["Flow"], None] | None,
+        started_at: float,
+        net: "FlowNetwork",
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.links = links
+        self.category = category
+        self.on_complete = on_complete
+        self.started_at = started_at
+        self.completed_at: float | None = None
+        self._net = net
+        self._row = -1
+        self._remaining = size
+        self._rate = 0.0
+        self._ptuple: tuple[int, ...] = ()
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to transfer."""
+        row = self._row
+        if row >= 0:
+            return float(self._net._remaining[row])
+        return self._remaining
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        if self._row >= 0:
+            self._net._remaining[self._row] = value
+        else:
+            self._remaining = value
+
+    @property
+    def rate(self) -> float:
+        """Current max-min fair rate in bytes per second."""
+        row = self._row
+        if row >= 0:
+            return float(self._net._rate[row])
+        return self._rate
 
     @property
     def done(self) -> bool:
         """True once the last byte has landed."""
         return self.completed_at is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Flow({self.flow_id}, {self.src}->{self.dst}, "
+            f"{self.category!r}, {self.size:.0f}B)"
+        )
 
 
 class FlowNetwork:
@@ -71,7 +158,6 @@ class FlowNetwork:
         self.sim = sim
         self.topology = topology
         self.meter = meter if meter is not None else TrafficMeter()
-        self._flows: dict[int, Flow] = {}
         self._ids = itertools.count()
         self._last_update = sim.now
         self._completion_event: Event | None = None
@@ -79,11 +165,47 @@ class FlowNetwork:
         self._capacities = np.array(
             [link.capacity for link in topology.links], dtype=float
         )
+        self._num_links = len(topology.links)
+        # Saturation thresholds, fixed per link (multiplying before the
+        # per-round gather is bit-identical to multiplying after it).
+        self._thresholds = 1e-9 * self._capacities
+        # Structure-of-arrays state for the active flow set: rows [0, _n)
+        # are live; removal swaps the last row into the hole.  Link-id
+        # rows shorter than MAX_PATH_LINKS are padded with the sentinel
+        # id ``num_links``: per-link arrays in the filling loop carry one
+        # extra never-saturated / never-read slot, so padded entries need
+        # no validity masking anywhere.
+        self._remaining = np.zeros(_INITIAL_ROWS)
+        self._rate = np.zeros(_INITIAL_ROWS)
+        self._eps = np.zeros(_INITIAL_ROWS)
+        self._link_ids = np.full(
+            (_INITIAL_ROWS, MAX_PATH_LINKS), self._num_links, dtype=np.int64
+        )
+        self._row_flows: list[Flow | None] = [None] * _INITIAL_ROWS
+        self._n = 0
+        # Standing link -> flow incidence, maintained by _attach/_detach:
+        # for each link, a dense array of the active rows crossing it
+        # (amortized-doubling capacity, swap-remove within the segment).
+        # ``_link_cols[l][p]`` records which path slot of row
+        # ``_link_rows[l][p]`` refers to link ``l``, and ``_pos[row, k]``
+        # is that entry's position, so removals and row renumbering stay
+        # O(1) per slot.  Rate recomputation reads the segments directly
+        # instead of rebuilding any incidence structure.
+        self._link_rows: list[np.ndarray] = [
+            np.empty(4, dtype=np.int64) for _ in range(self._num_links + 1)
+        ]
+        self._link_cols: list[np.ndarray] = [
+            np.empty(4, dtype=np.int8) for _ in range(self._num_links + 1)
+        ]
+        self._link_sizes: list[int] = [0] * (self._num_links + 1)
+        self._pos = np.zeros((_INITIAL_ROWS, MAX_PATH_LINKS), dtype=np.int64)
 
     @property
     def active_flows(self) -> list[Flow]:
-        """Flows currently occupying fabric links."""
-        return list(self._flows.values())
+        """Flows currently occupying fabric links (in start order)."""
+        flows = [f for f in self._row_flows[: self._n] if f is not None]
+        flows.sort(key=lambda f: f.flow_id)
+        return flows
 
     def start_flow(
         self,
@@ -99,11 +221,49 @@ class FlowNetwork:
         lands.  Byte accounting happens immediately: the transfer is
         committed once started.
         """
+        flow = self._begin(src, dst, nbytes, category, on_complete)
+        # Batch rate recomputation: many flows typically start at the
+        # same instant (a map task fanning out its shuffle); one
+        # recompute after the batch is both faster and equivalent.
+        if flow._row >= 0 and self._recompute_event is None:
+            self._recompute_event = self.sim.schedule(0.0, self._do_recompute)
+        return flow
+
+    def start_flows(self, requests: Iterable[FlowRequest]) -> list[Flow]:
+        """Begin a batch of transfers in one call.
+
+        Each request is ``(src, dst, nbytes, category)`` optionally
+        followed by an ``on_complete`` callback.  Event ordering, flow
+        ids, and all floats are identical to calling :meth:`start_flow`
+        once per request — this exists so a map wave's shuffle fan-out
+        (or a PIC scatter) crosses the network API once per wave, not
+        once per flow, and shares a single rate recompute.
+        """
+        flows: list[Flow] = []
+        schedule = self.sim.schedule
+        for req in requests:
+            on_complete = req[4] if len(req) > 4 else None
+            flow = self._begin(req[0], req[1], req[2], req[3], on_complete)
+            if flow._row >= 0 and self._recompute_event is None:
+                self._recompute_event = schedule(0.0, self._do_recompute)
+            flows.append(flow)
+        return flows
+
+    def _begin(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        category: str,
+        on_complete: Callable[[Flow], None] | None,
+    ) -> Flow:
         if nbytes < 0:
             raise ValueError(f"cannot transfer a negative byte count: {nbytes}")
-        links = self.topology.path(src, dst)
-        crosses_core = self.topology.crosses_core(src, dst)
-        self.meter.record(category, nbytes, crosses_core=crosses_core, on_fabric=bool(links))
+        route = self.topology.route(src, dst)
+        links = route.links
+        self.meter.record(
+            category, nbytes, crosses_core=route.crosses_core, on_fabric=bool(links)
+        )
         for link in links:
             link.bytes_carried += nbytes
 
@@ -116,6 +276,7 @@ class FlowNetwork:
             category=category,
             on_complete=on_complete,
             started_at=self.sim.now,
+            net=self,
         )
         if not links:
             # Intra-node: costs a local copy, never contends with the fabric.
@@ -127,12 +288,7 @@ class FlowNetwork:
             return flow
 
         self._advance_progress()
-        self._flows[flow.flow_id] = flow
-        # Batch rate recomputation: many flows typically start at the
-        # same instant (a map task fanning out its shuffle); one
-        # recompute after the batch is both faster and equivalent.
-        if self._recompute_event is None:
-            self._recompute_event = self.sim.schedule(0.0, self._do_recompute)
+        self._attach(flow, route)
         return flow
 
     def _do_recompute(self) -> None:
@@ -143,11 +299,119 @@ class FlowNetwork:
 
     def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
         """Uncontended transfer time (for cost estimation, not simulation)."""
-        links = self.topology.path(src, dst)
-        if not links:
+        route = self.topology.route(src, dst)
+        if not route.links:
             return nbytes / LOCAL_COPY_BANDWIDTH
-        bottleneck = min(link.capacity for link in links)
-        return nbytes / bottleneck
+        return nbytes / route.bottleneck
+
+    # ------------------------------------------------------------------
+    # structure-of-arrays row management
+
+    def _attach(self, flow: Flow, route: Route) -> None:
+        """Claim the next dense row for ``flow``; O(1) amortized."""
+        i = self._n
+        if i == len(self._row_flows):
+            self._grow()
+        self._remaining[i] = flow._remaining
+        self._rate[i] = 0.0
+        self._eps[i] = completion_eps(flow.size)
+        self._link_ids[i] = route.padded_ids
+        ptuple = route.padded_tuple
+        flow._ptuple = ptuple
+        sentinel = self._num_links
+        link_rows = self._link_rows
+        link_sizes = self._link_sizes
+        pos = self._pos
+        for k in range(MAX_PATH_LINKS):
+            link = ptuple[k]
+            if link == sentinel:
+                break
+            size = link_sizes[link]
+            arr = link_rows[link]
+            if size == arr.size:
+                arr = self._grow_link(link)
+            arr[size] = i
+            self._link_cols[link][size] = k
+            pos[i, k] = size
+            link_sizes[link] = size + 1
+        self._row_flows[i] = flow
+        flow._row = i
+        self._n = i + 1
+
+    def _detach(self, flow: Flow) -> None:
+        """Release ``flow``'s row, compacting by swapping the last row in."""
+        i = flow._row
+        flow._remaining = float(self._remaining[i])
+        flow._rate = float(self._rate[i])
+        flow._row = -1
+        sentinel = self._num_links
+        link_rows = self._link_rows
+        link_cols = self._link_cols
+        link_sizes = self._link_sizes
+        pos = self._pos
+        # Drop the flow's incidence entries, swap-removing within each
+        # link segment (same-rack pad slots were never inserted).
+        for k in range(MAX_PATH_LINKS):
+            link = flow._ptuple[k]
+            if link == sentinel:
+                break
+            p = pos[i, k]
+            size = link_sizes[link] - 1
+            arr = link_rows[link]
+            if p != size:
+                cols = link_cols[link]
+                moved_row = arr[size]
+                moved_col = cols[size]
+                arr[p] = moved_row
+                cols[p] = moved_col
+                pos[moved_row, moved_col] = p
+            link_sizes[link] = size
+        last = self._n - 1
+        if i != last:
+            self._remaining[i] = self._remaining[last]
+            self._rate[i] = self._rate[last]
+            self._eps[i] = self._eps[last]
+            self._link_ids[i] = self._link_ids[last]
+            self._pos[i] = self._pos[last]
+            moved = self._row_flows[last]
+            assert moved is not None
+            self._row_flows[i] = moved
+            moved._row = i
+            # The swapped-in flow changed row number; renumber its
+            # incidence entries.
+            for k in range(MAX_PATH_LINKS):
+                link = moved._ptuple[k]
+                if link == sentinel:
+                    break
+                link_rows[link][pos[i, k]] = i
+        self._row_flows[last] = None
+        self._n = last
+
+    def _grow(self) -> None:
+        old = len(self._row_flows)
+        new = 2 * old
+        for name in ("_remaining", "_rate", "_eps"):
+            grown = np.zeros(new)
+            grown[:old] = getattr(self, name)
+            setattr(self, name, grown)
+        lids = np.full((new, MAX_PATH_LINKS), self._num_links, dtype=np.int64)
+        lids[:old] = self._link_ids
+        self._link_ids = lids
+        grown_pos = np.zeros((new, MAX_PATH_LINKS), dtype=np.int64)
+        grown_pos[:old] = self._pos
+        self._pos = grown_pos
+        self._row_flows.extend([None] * (new - old))
+
+    def _grow_link(self, link: int) -> np.ndarray:
+        old = self._link_rows[link]
+        grown = np.empty(2 * old.size, dtype=np.int64)
+        grown[: old.size] = old
+        self._link_rows[link] = grown
+        old_cols = self._link_cols[link]
+        grown_cols = np.empty(2 * old_cols.size, dtype=np.int8)
+        grown_cols[: old_cols.size] = old_cols
+        self._link_cols[link] = grown_cols
+        return grown
 
     # ------------------------------------------------------------------
     # internals
@@ -156,73 +420,122 @@ class FlowNetwork:
         """Apply each flow's current rate over the elapsed interval."""
         now = self.sim.now
         dt = now - self._last_update
-        if dt > 0:
-            for flow in self._flows.values():
-                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        n = self._n
+        if dt > 0 and n:
+            rem = self._remaining[:n]
+            np.subtract(rem, self._rate[:n] * dt, out=rem)
+            np.maximum(rem, 0.0, out=rem)
         self._last_update = now
 
     def _recompute_rates(self) -> None:
         """Progressive-filling max-min fair rate allocation (vectorized).
 
-        Paths have at most 4 links, so each flow's link set is a padded
-        row of a (flows, 4) id matrix and every filling round reduces to
-        a handful of bincount/where operations.  Each round saturates at
-        least one link, bounding the round count by the link count (in
-        practice a few rounds).
-        """
-        flows = list(self._flows.values())
-        if not flows:
-            return
-        n = len(flows)
-        link_ids = np.full((n, 4), -1, dtype=np.int64)
-        for row, flow in enumerate(flows):
-            for col, link in enumerate(flow.links):
-                link_ids[row, col] = link.link_id
-        valid = link_ids >= 0
-        clipped = np.where(valid, link_ids, 0)
+        The standing ``(n, MAX_PATH_LINKS)`` link-id matrix is maintained
+        incrementally by :meth:`_attach`/:meth:`_detach`; each filling
+        round works on a *compacted* view of the still-unfrozen flows, so
+        per-round cost shrinks as flows freeze (in an all-to-all fan-out
+        the cross-rack majority freezes in the first rounds).  Per-link
+        flow counts are maintained by subtraction as flows freeze rather
+        than recounted, and a flow's rate is written exactly once — the
+        cumulative fill level at the round it froze — instead of being
+        incremented every round.
 
-        num_links = len(self._capacities)
-        residual = self._capacities.copy()
-        rate = np.zeros(n)
-        unfrozen = np.ones(n, dtype=bool)
-        for _round in range(num_links + 1):
-            if not unfrozen.any():
-                break
-            flat = link_ids[unfrozen]
-            flat = flat[flat >= 0]
-            counts = np.bincount(flat, minlength=num_links)
-            used = counts > 0
-            if not used.any():
-                break
-            delta = float(np.min(residual[used] / counts[used]))
-            rate[unfrozen] += delta
-            residual[used] -= delta * counts[used]
-            saturated = np.zeros(num_links, dtype=bool)
-            saturated[used] = residual[used] <= 1e-9 * self._capacities[used]
-            if not saturated.any():
-                # Numerically nothing saturated (a tiny residual limited
-                # delta); stop to guarantee progress.
-                break
-            touches_saturated = (saturated[clipped] & valid).any(axis=1)
-            newly_frozen = touches_saturated & unfrozen
-            if not newly_frozen.any():
-                break
-            unfrozen &= ~newly_frozen
-        for row, flow in enumerate(flows):
-            flow.rate = float(rate[row])
+        Saturation flags accumulate across rounds: once a link saturates
+        every unfrozen flow crossing it freezes in that same round, so no
+        surviving flow can ever touch a previously saturated link and the
+        cumulative flags select exactly this round's freezes.
+
+        The fill level is the same left-to-right sum of the same round
+        deltas the textbook formulation accumulates per flow, and the
+        counts/residual updates are the same integer/IEEE operations, so
+        the resulting rates are bit-identical to the reference
+        implementation (``tests/cluster/reference_flows.py``).
+        """
+        n = self._n
+        if n == 0:
+            return
+        rate = self._rate[:n]
+        num_links = self._num_links
+        link_ids = self._link_ids[:n]
+        link_rows = self._link_rows
+        link_sizes = self._link_sizes
+        # ``counts[num_links]`` is the sentinel slot absorbing padded
+        # link ids; it is written but never read.  Active-link state is
+        # kept compacted: links drop out permanently once saturated.
+        counts = np.array(link_sizes, dtype=np.int64)
+        active = np.nonzero(counts[:num_links])[0]
+        residual = self._capacities[active]
+        thresholds = self._thresholds[active]
+        active_counts = counts[active]
+        frozen = np.zeros(n, dtype=bool)
+        unfrozen = n
+        fill = 0.0
+        # A link whose flows all froze through *other* links keeps a
+        # zero count; its inf ratio never wins the min and it can never
+        # saturate afterwards, so it may idle in the active arrays.
+        with np.errstate(divide="ignore"):
+            for _round in range(num_links + 1):
+                if active.size == 0:
+                    break
+                delta = float((residual / active_counts).min())
+                fill += delta
+                residual -= delta * active_counts
+                saturated = residual <= thresholds
+                if not saturated.any():
+                    # Numerically nothing saturated (a tiny residual
+                    # limited delta); stop to guarantee progress.
+                    break
+                # Freeze every still-active flow crossing a saturated
+                # link at the current fill level (the same left-to-right
+                # delta sum the per-flow accumulation would produce).
+                # Links are processed one at a time with ``frozen``
+                # updated in between, so a flow on two same-round
+                # saturated links is collected exactly once and no
+                # dedupe pass is ever needed.
+                news = []
+                for lk in active[saturated]:
+                    seg = link_rows[lk][: link_sizes[lk]]
+                    fresh = seg[~frozen[seg]]
+                    if fresh.size:
+                        frozen[fresh] = True
+                        news.append(fresh)
+                if not news:  # pragma: no cover - numeric corner
+                    break
+                newly = news[0] if len(news) == 1 else np.concatenate(news)
+                rate[newly] = fill
+                unfrozen -= newly.size
+                if unfrozen == 0:
+                    # Everything froze; the remaining rounds would only
+                    # drain counts that no flow reads any more.
+                    return
+                counts -= np.bincount(
+                    link_ids[newly].ravel(), minlength=num_links + 1
+                )
+                keep = ~saturated
+                active = active[keep]
+                residual = residual[keep]
+                thresholds = thresholds[keep]
+                active_counts = counts[active]
+        # Whatever never froze runs at the final fill level.
+        rate[~frozen] = fill
 
     def _replan(self) -> None:
         """Schedule the internal event for the earliest flow completion."""
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        if not self._flows:
+        n = self._n
+        if n == 0:
             return
-        horizon = math.inf
-        for flow in self._flows.values():
-            if flow.rate > 0:
-                horizon = min(horizon, flow.remaining / flow.rate)
-        if not math.isfinite(horizon):
+        rate = self._rate[:n]
+        positive = rate > 0
+        if not positive.any():
+            raise RuntimeError(
+                "active flows exist but none has a positive rate; "
+                "the rate allocation is wedged"
+            )
+        horizon = float(np.min(self._remaining[:n][positive] / rate[positive]))
+        if not math.isfinite(horizon):  # pragma: no cover - defensive
             raise RuntimeError(
                 "active flows exist but none has a positive rate; "
                 "the rate allocation is wedged"
@@ -232,9 +545,19 @@ class FlowNetwork:
     def _on_completion(self) -> None:
         self._completion_event = None
         self._advance_progress()
-        finished = [f for f in self._flows.values() if f.remaining <= _REMAINING_EPS]
+        n = self._n
+        # Drain *every* flow that reached its completion threshold at
+        # this horizon in one event (same-horizon batching): one scan,
+        # one rate recompute, one replan for the whole batch.
+        done_rows = np.nonzero(self._remaining[:n] <= self._eps[:n])[0]
+        finished: list[Flow] = []
+        for i in done_rows:
+            flow = self._row_flows[i]
+            assert flow is not None
+            finished.append(flow)
+        finished.sort(key=lambda f: f.flow_id)
         for flow in finished:
-            del self._flows[flow.flow_id]
+            self._detach(flow)
         for flow in finished:
             self._finish(flow)
         self._recompute_rates()

@@ -33,7 +33,7 @@ class TrafficCategory:
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class _CategoryTotals:
     """Accumulated byte/transfer counts for one category."""
 
@@ -61,7 +61,12 @@ class TrafficMeter:
         """
         if nbytes < 0:
             raise ValueError(f"negative byte count: {nbytes}")
-        totals = self._totals.setdefault(category, _CategoryTotals())
+        # get-then-insert instead of setdefault: record() runs once per
+        # flow, and setdefault would allocate a throwaway _CategoryTotals
+        # on every hit.
+        totals = self._totals.get(category)
+        if totals is None:
+            totals = self._totals[category] = _CategoryTotals()
         totals.total_bytes += nbytes
         totals.transfers += 1
         if on_fabric:

@@ -19,10 +19,16 @@ bisection traffic exactly the way Figure 2 / Table II do.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 
 GIGABIT = 125e6  # 1 Gb/s in bytes per second
+
+# The two-tier fabric bounds every path at up → core_up → core_down → down.
+MAX_PATH_LINKS = 4
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,39 @@ class Link:
             raise ValueError(f"link {self.name} capacity must be positive")
 
 
+class Route:
+    """Cached routing result for one ``(src, dst)`` pair.
+
+    The flow simulator resolves a route per transfer; caching the link
+    tuple, the padded link-id row (ready to drop into the simulator's
+    incidence matrix), the bottleneck capacity, and the bisection flag
+    means each is computed once per pair instead of once per flow.
+    """
+
+    __slots__ = (
+        "links", "link_ids", "padded_ids", "padded_tuple",
+        "crosses_core", "bottleneck",
+    )
+
+    def __init__(self, links: tuple[Link, ...], crosses_core: bool, pad: int) -> None:
+        self.links = links
+        self.link_ids: tuple[int, ...] = tuple(link.link_id for link in links)
+        # Padded to the fixed matrix width with ``pad`` (the one-past-end
+        # link id): the simulator's per-link count/saturation arrays carry
+        # one extra sentinel slot, so padded entries index it harmlessly
+        # and no validity mask is ever needed.
+        self.padded_tuple: tuple[int, ...] = self.link_ids + (pad,) * (
+            MAX_PATH_LINKS - len(self.link_ids)
+        )
+        padded = np.array(self.padded_tuple, dtype=np.int64)
+        padded.setflags(write=False)
+        self.padded_ids = padded
+        self.crosses_core = crosses_core
+        self.bottleneck = (
+            min(link.capacity for link in links) if links else math.inf
+        )
+
+
 class Topology:
     """Nodes, racks and the two-tier link graph connecting them."""
 
@@ -125,6 +164,7 @@ class Topology:
             rack_uplink_bandwidth = nodes_per_rack * edge_bandwidth / oversubscription
         self.rack_uplink_bandwidth = rack_uplink_bandwidth
 
+        self._routes: dict[tuple[int, int], Route] = {}
         self.nodes: list[Node] = [
             Node(
                 node_id=i,
@@ -162,20 +202,39 @@ class Topology:
 
     def path(self, src: int, dst: int) -> list[Link]:
         """Return the directional links a ``src → dst`` transfer occupies."""
+        return list(self.route(src, dst).links)
+
+    def route(self, src: int, dst: int) -> Route:
+        """The cached :class:`Route` for ``src → dst``.
+
+        Validation and link-set construction run once per pair; repeat
+        lookups (every flow of a shuffle fan-out) are one dict hit.
+        """
+        key = (src, dst)
+        cached = self._routes.get(key)
+        if cached is not None:
+            return cached
         self._check_node(src)
         self._check_node(dst)
         if src == dst:
-            return []
-        src_rack = self.nodes[src].rack_id
-        dst_rack = self.nodes[dst].rack_id
-        if src_rack == dst_rack:
-            return [self._node_up[src], self._node_down[dst]]
-        return [
-            self._node_up[src],
-            self._rack_up[src_rack],
-            self._rack_down[dst_rack],
-            self._node_down[dst],
-        ]
+            links: tuple[Link, ...] = ()
+            crosses = False
+        else:
+            src_rack = self.nodes[src].rack_id
+            dst_rack = self.nodes[dst].rack_id
+            crosses = src_rack != dst_rack
+            if crosses:
+                links = (
+                    self._node_up[src],
+                    self._rack_up[src_rack],
+                    self._rack_down[dst_rack],
+                    self._node_down[dst],
+                )
+            else:
+                links = (self._node_up[src], self._node_down[dst])
+        route = Route(links, crosses, pad=len(self.links))
+        self._routes[key] = route
+        return route
 
     def crosses_core(self, src: int, dst: int) -> bool:
         """True when a ``src → dst`` transfer contributes to bisection traffic."""

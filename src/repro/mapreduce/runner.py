@@ -437,15 +437,18 @@ class _JobState:
         )
         self.runner.map_scheduler.release(node_id)
         self._maybe_speculate()
+        # One bulk call for the whole fan-out: the map wave's shuffle
+        # triggers a single rate recompute instead of one per partition.
+        requests = []
         for p in range(self.num_reducers):
             recs = buckets.get(p, [])
             nbytes = bucket_bytes.get(p, 0)
             self.shuffle_bytes += nbytes
-            dst = self.reduce_node[p]
-            self.cluster.transfer(
-                node_id, dst, nbytes, TrafficCategory.SHUFFLE,
+            requests.append((
+                node_id, self.reduce_node[p], nbytes, TrafficCategory.SHUFFLE,
                 self._make_bucket_arrival(p, recs),
-            )
+            ))
+        self.cluster.transfer_batch(requests)
 
     def _maybe_speculate(self) -> None:
         """Launch backup attempts for stragglers once slots are idle.

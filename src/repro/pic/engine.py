@@ -236,7 +236,11 @@ class BestEffortEngine:
         self, subs: list[SubProblem], model_locations: tuple[int, ...]
     ) -> None:
         """Ship each sub-problem's model share from the merged model's
-        closest replica to the sub-problem's home node."""
+        closest replica to the sub-problem's home node.
+
+        Remote shares go out as one bulk batch — one rate recompute for
+        the whole scatter instead of one per sub-problem."""
+        requests = []
         for sub in subs:
             nbytes = self.program.model_bytes(sub.model)
             if nbytes <= 0:
@@ -253,9 +257,10 @@ class BestEffortEngine:
                     crosses_core=False, on_fabric=False,
                 )
             else:
-                self.cluster.transfer(
-                    src, sub.home_node, nbytes, TrafficCategory.MODEL_READ
+                requests.append(
+                    (src, sub.home_node, nbytes, TrafficCategory.MODEL_READ)
                 )
+        self.cluster.transfer_batch(requests)
 
     def _colocate(self, subs: list[SubProblem]) -> DistributedDataset:
         """Pin each partition's data to its home node, charging the
@@ -280,8 +285,10 @@ class BestEffortEngine:
                     continue
                 pair = (src, sub.home_node)
                 pair_bytes[pair] = pair_bytes.get(pair, 0.0) + per_node
-        for (src, dst), nbytes in pair_bytes.items():
-            cluster.transfer(src, dst, nbytes, TrafficCategory.REPARTITION)
+        cluster.transfer_batch([
+            (src, dst, nbytes, TrafficCategory.REPARTITION)
+            for (src, dst), nbytes in pair_bytes.items()
+        ])
         self._dataset_seq += 1
         return DistributedDataset.from_partitions(
             self.dfs,

@@ -1,0 +1,211 @@
+"""Pre-structure-of-arrays reference flow network.
+
+This is the per-object, dict-based implementation the optimized
+``repro.cluster.flows.FlowNetwork`` replaced: every filling round
+rebuilds the padded link-id matrix from the live ``Flow`` objects and
+accumulates each unfrozen flow's rate by the round delta.  It exists so
+property tests can assert the optimized simulator is *bit-identical* —
+same rates, same completion instants, same completion order, same byte
+accounting — on arbitrary topologies and flow batches.
+
+It deliberately mirrors the historical implementation operation for
+operation, with one intentional exception: completion uses the same
+scale-aware ``completion_eps`` as the optimized network (the absolute
+epsilon predated multi-GB flows and is part of this change).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.events import Event, Simulation
+from repro.cluster.flows import LOCAL_COPY_BANDWIDTH, _REMAINING_EPS, completion_eps
+from repro.cluster.metrics import TrafficMeter
+from repro.cluster.topology import Link, Topology
+
+
+@dataclass
+class ReferenceFlow:
+    """One in-flight transfer (per-object state)."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size: float
+    links: list[Link]
+    category: str
+    on_complete: Callable[["ReferenceFlow"], None] | None
+    started_at: float
+    remaining: float = field(init=False)
+    rate: float = field(default=0.0, init=False)
+    completed_at: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.remaining = float(self.size)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+class ReferenceFlowNetwork:
+    """Dict-of-objects flow simulator with per-round matrix rebuilds."""
+
+    def __init__(
+        self, sim: Simulation, topology: Topology, meter: TrafficMeter | None = None
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.meter = meter if meter is not None else TrafficMeter()
+        self._flows: dict[int, ReferenceFlow] = {}
+        self._ids = itertools.count()
+        self._last_update = sim.now
+        self._completion_event: Event | None = None
+        self._recompute_event: Event | None = None
+        self._capacities = np.array(
+            [link.capacity for link in topology.links], dtype=float
+        )
+
+    @property
+    def active_flows(self) -> list[ReferenceFlow]:
+        return list(self._flows.values())
+
+    def start_flow(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        category: str,
+        on_complete: Callable[[ReferenceFlow], None] | None = None,
+    ) -> ReferenceFlow:
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer a negative byte count: {nbytes}")
+        links = self.topology.path(src, dst)
+        crosses_core = self.topology.crosses_core(src, dst)
+        self.meter.record(
+            category, nbytes, crosses_core=crosses_core, on_fabric=bool(links)
+        )
+        for link in links:
+            link.bytes_carried += nbytes
+
+        flow = ReferenceFlow(
+            flow_id=next(self._ids),
+            src=src,
+            dst=dst,
+            size=float(nbytes),
+            links=links,
+            category=category,
+            on_complete=on_complete,
+            started_at=self.sim.now,
+        )
+        if not links:
+            delay = nbytes / LOCAL_COPY_BANDWIDTH
+            self.sim.schedule(delay, lambda: self._finish(flow))
+            return flow
+        if nbytes <= _REMAINING_EPS:
+            self.sim.schedule(0.0, lambda: self._finish(flow))
+            return flow
+
+        self._advance_progress()
+        self._flows[flow.flow_id] = flow
+        if self._recompute_event is None:
+            self._recompute_event = self.sim.schedule(0.0, self._do_recompute)
+        return flow
+
+    def _do_recompute(self) -> None:
+        self._recompute_event = None
+        self._advance_progress()
+        self._recompute_rates()
+        self._replan()
+
+    def _advance_progress(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._flows.values():
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        self._last_update = now
+
+    def _recompute_rates(self) -> None:
+        """Textbook progressive filling over a per-round rebuilt matrix."""
+        flows = list(self._flows.values())
+        if not flows:
+            return
+        n = len(flows)
+        link_ids = np.full((n, 4), -1, dtype=np.int64)
+        for row, flow in enumerate(flows):
+            for col, link in enumerate(flow.links):
+                link_ids[row, col] = link.link_id
+        valid = link_ids >= 0
+        clipped = np.where(valid, link_ids, 0)
+
+        num_links = len(self._capacities)
+        residual = self._capacities.copy()
+        rate = np.zeros(n)
+        unfrozen = np.ones(n, dtype=bool)
+        for _round in range(num_links + 1):
+            if not unfrozen.any():
+                break
+            flat = link_ids[unfrozen]
+            flat = flat[flat >= 0]
+            counts = np.bincount(flat, minlength=num_links)
+            used = counts > 0
+            if not used.any():
+                break
+            delta = float(np.min(residual[used] / counts[used]))
+            rate[unfrozen] += delta
+            residual[used] -= delta * counts[used]
+            saturated = np.zeros(num_links, dtype=bool)
+            saturated[used] = residual[used] <= 1e-9 * self._capacities[used]
+            if not saturated.any():
+                break
+            touches_saturated = (saturated[clipped] & valid).any(axis=1)
+            newly_frozen = touches_saturated & unfrozen
+            if not newly_frozen.any():
+                break
+            unfrozen &= ~newly_frozen
+        for row, flow in enumerate(flows):
+            flow.rate = float(rate[row])
+
+    def _replan(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._flows:
+            return
+        horizon = math.inf
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if not math.isfinite(horizon):
+            raise RuntimeError(
+                "active flows exist but none has a positive rate; "
+                "the rate allocation is wedged"
+            )
+        self._completion_event = self.sim.schedule(horizon, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion_event = None
+        self._advance_progress()
+        finished = [
+            f
+            for f in self._flows.values()
+            if f.remaining <= completion_eps(f.size)
+        ]
+        for flow in finished:
+            del self._flows[flow.flow_id]
+        for flow in finished:
+            self._finish(flow)
+        self._recompute_rates()
+        self._replan()
+
+    def _finish(self, flow: ReferenceFlow) -> None:
+        flow.remaining = 0.0
+        flow.completed_at = self.sim.now
+        if flow.on_complete is not None:
+            flow.on_complete(flow)

@@ -228,3 +228,34 @@ class TestBatchedRecompute:
         # Flow b: 0.5 rate from t=1 while a runs; a ends at 3 with b
         # having 1 GB left? b moved 1.0 GB by t=3 -> done exactly at 3.
         assert finish["b"] == pytest.approx(3.0)
+
+
+class TestScaleAwareCompletionEpsilon:
+    """The completion threshold must scale with flow size: one ULP of a
+    multi-GB byte count exceeds the absolute epsilon, so a fixed
+    threshold can strand a finished flow microscopically short of zero
+    and spawn a cascade of near-zero-length completion events."""
+
+    def test_epsilon_covers_float_spacing(self):
+        import numpy as np
+
+        from repro.cluster.flows import completion_eps
+
+        for size in (1.0, 1e6, 2e10, 7.5e12):
+            assert completion_eps(size) >= np.spacing(size)
+        # Small flows keep the absolute floor.
+        assert completion_eps(0.0) == 1e-6
+        assert completion_eps(1.0) == 1e-6
+
+    def test_huge_flow_completes_without_event_cascade(self):
+        c = make_cluster(num_nodes=2, nodes_per_rack=2)
+        done = {}
+        c.transfer(0, 1, 2.5e10, "t", lambda f: done.setdefault("at", c.now))
+        # Nudge the clock through several rate recomputes so ``remaining``
+        # accumulates rounding error from repeated ``rate * dt`` updates.
+        for i in range(1, 6):
+            c.sim.schedule(i * 7.3, lambda: c.network._do_recompute())
+        c.run()
+        assert done["at"] == pytest.approx(2.5e10 / GIGABIT)
+        # One completion horizon, not a tail of epsilon-chasing events.
+        assert c.sim.events_processed <= 12
