@@ -1,0 +1,64 @@
+"""Committed-baseline support for incremental burn-down.
+
+A baseline file records fingerprints of accepted pre-existing findings
+so ``pic-lint`` can gate on *new* findings only.  Fingerprints hash the
+(path, rule, message) triple — deliberately not the line number, so
+unrelated edits above a finding do not resurrect it — with a count per
+fingerprint so duplicates of an accepted finding still fail the gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Sequence
+
+from repro.lint.model import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    rel = PurePosixPath(*Path(finding.path).parts)
+    basis = f"{rel}|{finding.rule}|{finding.message}"
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:20]
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    counts = Counter(finding_fingerprint(f) for f in findings)
+    payload = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "comment": (
+            "pic-lint baseline: accepted pre-existing findings, keyed by "
+            "sha256(path|rule|message). Regenerate with --write-baseline."
+        ),
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported baseline file")
+    fingerprints = raw.get("fingerprints", {})
+    return {str(k): int(v) for k, v in fingerprints.items()}
+
+
+def split_by_baseline(
+    findings: Iterable[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, baselined), honouring per-fingerprint counts."""
+    budget = dict(baseline)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        fp = finding_fingerprint(finding)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

@@ -1,0 +1,134 @@
+"""On-disk incremental cache for warm re-lints.
+
+One JSON file maps each linted path to the sha256 of its byte content
+plus everything the engine would otherwise recompute by parsing it:
+the per-file findings (pre-noqa), the noqa suppression map, and the
+module's dataflow IR (so whole-program analysis re-runs from IR alone).
+A warm run over an unchanged tree therefore never calls ``ast.parse``.
+
+Entries are salted with the active per-file rule IDs and the IR/JSON
+schema versions — changing either invalidates the whole cache rather
+than serving stale shapes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.lint.model import Finding
+from repro.lint.project.ir import IR_SCHEMA_VERSION
+
+CACHE_SCHEMA_VERSION = 1
+DEFAULT_CACHE_NAME = ".piclint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def cache_salt(rule_ids: Sequence[str]) -> str:
+    basis = json.dumps(
+        {
+            "cache": CACHE_SCHEMA_VERSION,
+            "ir": IR_SCHEMA_VERSION,
+            "rules": sorted(rule_ids),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+
+class LintCache:
+    """Content-hash keyed store of per-file lint results."""
+
+    def __init__(self, path: Path, salt: str) -> None:
+        self.path = path
+        self.salt = salt
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("salt") != self.salt:
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def lookup(self, path: str, digest: str) -> dict[str, Any] | None:
+        entry = self.entries.get(path)
+        if entry is not None and entry.get("sha256") == digest:
+            return entry
+        return None
+
+    def store_ok(
+        self,
+        path: str,
+        digest: str,
+        findings: Sequence[Finding],
+        suppressions: dict[int, frozenset[str] | None],
+        ir: dict[str, Any],
+    ) -> None:
+        self.entries[path] = {
+            "sha256": digest,
+            "findings": [f.to_json() for f in findings],
+            "suppressions": {
+                str(line): (None if ids is None else sorted(ids))
+                for line, ids in suppressions.items()
+            },
+            "ir": ir,
+        }
+        self.dirty = True
+
+    def store_error(self, path: str, digest: str, error: str) -> None:
+        self.entries[path] = {"sha256": digest, "error": error}
+        self.dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        stale = [p for p in self.entries if p not in live_paths]
+        for p in stale:
+            del self.entries[p]
+            self.dirty = True
+
+    def save(self) -> None:
+        if not self.dirty:
+            return
+        payload = {
+            "version": CACHE_SCHEMA_VERSION,
+            "salt": self.salt,
+            "entries": self.entries,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            return
+        self.dirty = False
+
+
+def findings_from_entry(entry: dict[str, Any]) -> list[Finding]:
+    return [
+        Finding(
+            path=f["path"],
+            line=f["line"],
+            col=f["col"],
+            rule=f["rule"],
+            message=f["message"],
+        )
+        for f in entry.get("findings", [])
+    ]
+
+
+def suppressions_from_entry(entry: dict[str, Any]) -> dict[int, frozenset[str] | None]:
+    return {
+        int(line): (None if ids is None else frozenset(ids))
+        for line, ids in entry.get("suppressions", {}).items()
+    }

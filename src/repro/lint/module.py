@@ -5,6 +5,13 @@ parent links (``ast`` has none), an import-alias table for resolving
 dotted call names back to canonical module paths, and scope-restricted
 walking (so per-function name analysis does not leak across nested
 functions).
+
+The file's bytes are loaded exactly once: :meth:`LintModule.from_bytes`
+decodes them (tolerating a UTF-8 BOM, which ``ast.parse`` would reject
+as a stray ``U+FEFF``) and the decoded string is shared between the
+parser and the tokenizer — the lazy :attr:`suppressions` property runs
+the ``# pic: noqa`` scan over the same string instead of re-reading
+the file.
 """
 
 from __future__ import annotations
@@ -19,11 +26,21 @@ from repro.lint.model import Finding, LintParseError
 _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
 
 
+def decode_source(path: str, data: bytes) -> str:
+    """Decode source bytes once, stripping a UTF-8 BOM if present."""
+    try:
+        return data.decode("utf-8-sig")
+    except UnicodeDecodeError as exc:
+        raise LintParseError(path, f"cannot decode: {exc}")
+
+
 class LintModule:
     """One source file, parsed and indexed for rule checks."""
 
     def __init__(self, path: str, source: str) -> None:
         self.path = path
+        if source.startswith("\ufeff"):
+            source = source[1:]
         self.source = source
         try:
             self.tree = ast.parse(source)
@@ -34,6 +51,21 @@ class LintModule:
         for parent in ast.walk(self.tree):
             for child in ast.iter_child_nodes(parent):
                 self.parents[child] = parent
+        self._suppressions: dict[int, frozenset[str] | None] | None = None
+
+    @classmethod
+    def from_bytes(cls, path: str, data: bytes) -> "LintModule":
+        """Parse from raw bytes — the single read the engine performs."""
+        return cls(path, decode_source(path, data))
+
+    @property
+    def suppressions(self) -> dict[int, frozenset[str] | None]:
+        """``# pic: noqa`` map, tokenized lazily from the shared source."""
+        if self._suppressions is None:
+            from repro.lint.noqa import suppressions
+
+            self._suppressions = suppressions(self.path, self.source)
+        return self._suppressions
 
     def parent(self, node: ast.AST) -> ast.AST | None:
         """The syntactic parent of ``node`` (None for the module)."""

@@ -1,0 +1,758 @@
+"""Alias/escape/mutation summaries and their call-graph fixpoint.
+
+Abstract values
+---------------
+An :class:`AVal` is two sets of *atoms*:
+
+* ``ids`` — what object a value may *be*;
+* ``contents`` — what its *elements* may be.
+
+Atoms are ``("p", param, depth)`` with depth 0 (the parameter object
+itself) or 1 (an element of it), ``("pa", param, attr)`` (the object
+held by ``param.attr``), and ``("fn", fid)`` (a reference to a project
+function).  A value with no ``p``/``pa`` atoms in ``ids`` is *fresh*:
+mutating it cannot be observed by the caller.
+
+Evaluation is flow-sensitive over the linear op list: rebinding a name
+kills its aliases (the ``params = {k: v.copy() ...}`` defensive-copy
+idiom stays silent), and both branches of a conditional execute
+(may-analysis).  Unknown external calls return fresh values — the
+analysis prefers silence to false positives.
+
+Summaries
+---------
+Per function: which param atoms it mutates (and where), what its
+return value aliases, which project functions it calls directly, which
+parameters/functions it registers as flow continuations or event
+handlers, and which substrate-private attribute writes it performs.
+Summaries are propagated callee→caller over the call graph (mutations
+and registrations map through the argument bindings; returns are
+substituted) and iterated to a fixpoint, Gauss–Seidel style in
+deterministic function order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.lint.project.graph import (
+    SUBSTRATE_NAMES,
+    ProjectGraph,
+)
+
+Atom = tuple  # ("p", name, depth) | ("pa", name, attr) | ("fn", fid)
+
+_EMPTY: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class AVal:
+    ids: frozenset = _EMPTY
+    contents: frozenset = _EMPTY
+
+    def __or__(self, other: "AVal") -> "AVal":
+        return AVal(self.ids | other.ids, self.contents | other.contents)
+
+
+FRESH = AVal()
+
+
+def _collapse1(atoms: Iterable[Atom]) -> frozenset:
+    """Demote every object atom to depth 1 (an element of it)."""
+    out = set()
+    for a in atoms:
+        if a[0] == "p":
+            out.add(("p", a[1], 1))
+        elif a[0] == "pa":
+            out.add(("p", a[1], 1))
+        elif a[0] == "fn":
+            out.add(a)
+    return frozenset(out)
+
+
+def _elements(av: AVal) -> frozenset:
+    """Atoms an element of ``av`` may be."""
+    return av.contents | _collapse1(av.ids)
+
+
+# ----------------------------------------------------------------------
+# External-call knowledge
+
+
+#: Calls that break aliasing entirely (deep copy semantics).
+DEEP_BREAKERS = frozenset({"copy.deepcopy", "json.loads", "pickle.loads"})
+#: Constructors returning a *fresh* container of the argument's elements.
+SHALLOW_COPIES = frozenset(
+    {"list", "dict", "tuple", "set", "frozenset", "sorted", "reversed", "copy.copy"}
+)
+#: Element-pairing iterators: results contain the arguments' elements.
+PAIRING = frozenset({"zip", "enumerate", "map", "filter", "itertools.chain"})
+#: Calls returning an *element* of their argument.
+ELEMENT_PICKS = frozenset({"min", "max", "next"})
+
+#: Methods that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "update", "setdefault", "popitem", "add", "discard",
+        "fill", "resize", "put",
+    }
+)
+#: Mutators that also *store* their arguments into the receiver.
+STORING_MUTATORS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault"}
+)
+#: Non-mutating methods with known aliasing behaviour.
+_METH_ELEMENT = frozenset({"get"})
+_METH_VIEW = frozenset({"items", "keys", "values"})
+_METH_SHALLOW = frozenset({"copy", "tolist", "most_common"})
+
+#: Flow-registration primitives: callbacks handed to these become
+#: *flow continuations* (PIC401: never call one synchronously).
+_FLOW_POSITIONAL = {"transfer": 4, "start_flow": 4}
+_FLOW_BATCH = frozenset({"transfer_batch", "start_flows"})
+_FLOW_KW_ONLY = frozenset({"write", "read"})
+#: Event/slot registration primitives: callbacks become *event
+#: handlers* (PIC402 seeds).
+_HANDLER_REGISTRARS = frozenset({"schedule", "schedule_at", "call_later", "request"})
+
+
+@dataclass
+class Summary:
+    """Converged per-function facts, serializable for comparison."""
+
+    mutations: dict[Atom, list] = field(default_factory=dict)
+    ret: AVal = FRESH
+    ret_sites: dict[Atom, list] = field(default_factory=dict)
+    direct_calls: list = field(default_factory=list)
+    registers_flow_params: set = field(default_factory=set)
+    registers_handler_params: set = field(default_factory=set)
+    flow_fns: set = field(default_factory=set)
+    handler_fns: set = field(default_factory=set)
+    bound: dict = field(default_factory=dict)  # class_fq -> {attr: {fid}}
+    substrate_writes: list = field(default_factory=list)
+
+    def key(self) -> str:
+        return json.dumps(
+            {
+                "m": sorted([list(a), s] for a, s in self.mutations.items()),
+                "ri": sorted(map(list, self.ret.ids)),
+                "rc": sorted(map(list, self.ret.contents)),
+                "dc": sorted(self.direct_calls),
+                "fp": sorted(self.registers_flow_params),
+                "hp": sorted(self.registers_handler_params),
+                "ff": sorted(self.flow_fns),
+                "hf": sorted(self.handler_fns),
+                "b": {c: {a: sorted(f) for a, f in kw.items()} for c, kw in sorted(self.bound.items())},
+                "sw": sorted(self.substrate_writes),
+            },
+            sort_keys=True,
+        )
+
+
+class _Evaluator:
+    """One pass of abstract interpretation over a function's ops."""
+
+    def __init__(self, analysis: "ProjectAnalysis", fid: str) -> None:
+        self.an = analysis
+        self.graph = analysis.graph
+        self.fid = fid
+        self.fn = analysis.graph.function_ir[fid]
+        self.modkey = fid.split("::", 1)[0]
+        self.ir = analysis.graph.modules.get(self.modkey) or {"aliases": {}}
+        self.aliases: dict[str, str] = self.ir.get("aliases", {})
+        self.summary = Summary()
+        self.env: dict[str, AVal] = {}
+        self.tenv: dict[str, str] = {}
+        # Modules that *define* a substrate class own its internals:
+        # their helper functions are the implementation, not intruders.
+        self._owns_substrate = any(
+            self.graph.is_substrate_class(f"{self.modkey}.{c}")
+            for c in self.ir.get("classes", {})
+        )
+
+    def run(self) -> Summary:
+        for p in self.fn["params"]:
+            self.env[p] = AVal(
+                frozenset({("p", p, 0)}), frozenset({("p", p, 1)})
+            )
+            ann = self.fn["param_types"].get(p)
+            cfq = self.graph.resolve_class(ann)
+            if cfq:
+                self.tenv[p] = cfq
+        if self.fn["class"] is not None and self.fn["params"][:1] == ["self"]:
+            self.tenv["self"] = f"{self.modkey}.{self.fn['class']}"
+        elif self.fn["class"] is not None and "self" not in self.env:
+            # nested def / lambda inside a method: treat the free `self`
+            # as the enclosing instance so method refs resolve.
+            self.tenv["self"] = f"{self.modkey}.{self.fn['class']}"
+        for op in self.fn["ops"]:
+            self.op(op)
+        return self.summary
+
+    # -- ops -----------------------------------------------------------
+
+    def op(self, op: list) -> None:
+        kind = op[0]
+        if kind == "bind":
+            _, name, desc, _line = op
+            value = self.eval(desc)
+            self.env[name] = value
+            self._track_type(name, desc)
+        elif kind == "unpack":
+            _, names, desc, _line = op
+            value = self.eval(desc)
+            element = AVal(_elements(value), _collapse1(_elements(value)))
+            for name in names:
+                self.env[name] = element
+        elif kind == "eval":
+            self.eval(op[1])
+        elif kind == "mutate":
+            _, target, value, how, line, col = op
+            value_av = self.eval(value) if value is not None else FRESH
+            self.mutate(target, value_av, line, col, via="direct")
+        elif kind == "ret":
+            _, desc, line, col = op
+            value = self.eval(desc)
+            self.summary.ret = self.summary.ret | value
+            for atom in value.ids | value.contents:
+                self.summary.ret_sites.setdefault(atom, [line, col])
+        elif kind == "defl":
+            _, name, fid, _line = op
+            self.env[name] = AVal(frozenset({("fn", fid)}))
+        elif kind == "kill":
+            self.env.pop(op[1], None)
+
+    def _track_type(self, name: str, desc: list) -> None:
+        cfq = self.static_type(desc)
+        if cfq is not None:
+            self.tenv[name] = cfq
+        else:
+            self.tenv.pop(name, None)
+
+    def static_type(self, desc: list) -> str | None:
+        kind = desc[0]
+        if kind == "name":
+            return self.tenv.get(desc[1])
+        if kind == "attr":
+            base_t = self.static_type(desc[1])
+            if base_t is not None:
+                return self.graph.attr_type(base_t, desc[2])
+            return None
+        if kind == "call":
+            dotted = self.callee_dotted(desc[1])
+            return self.graph.resolve_class(dotted) if dotted else None
+        return None
+
+    # -- mutation recording --------------------------------------------
+
+    def mutate(self, target: list, value: AVal, line: int, col: int, via: str) -> None:
+        """Record a store/del/aug/mutator-method hit on ``target``."""
+        if target[0] == "attr":
+            base = self.eval(target[1])
+            attr = target[2]
+            for atom in base.ids:
+                if atom[0] == "p" and atom[2] == 0:
+                    self._add_mutation(("pa", atom[1], attr), line, col, via)
+                elif atom[0] in ("p", "pa"):
+                    self._add_mutation(_one(_collapse1({atom})), line, col, via)
+        else:
+            base_desc = target[1] if target[0] in ("elem", "slice") else target
+            base = self.eval(base_desc)
+            for atom in base.ids:
+                if atom[0] in ("p", "pa"):
+                    self._add_mutation(atom, line, col, via)
+        self._check_substrate_write(target, line, col)
+        root = _root_name(target)
+        if root is not None and root in self.env:
+            # Stored values keep their depth: appending a tuple that
+            # holds a level-0 parameter makes the receiver's contents
+            # reach that parameter (list.append / d[k] = v / insert).
+            extra = value.ids | value.contents
+            if extra:
+                old = self.env[root]
+                self.env[root] = AVal(old.ids, old.contents | frozenset(extra))
+
+    def _add_mutation(self, atom: Atom, line: int, col: int, via: str) -> None:
+        self.summary.mutations.setdefault(atom, [line, col, via])
+
+    def _check_substrate_write(self, target: list, line: int, col: int) -> None:
+        """Flag ``<substrate>._private`` writes outside the owning class."""
+        chain = _attr_chain(target)
+        if chain is None:
+            return
+        names, leaf = chain
+        if not leaf.startswith("_") or leaf.startswith("__"):
+            return
+        own = self.graph.class_of_method(self.fid)
+        if self._owns_substrate or self.graph.is_substrate_class(own):
+            return
+        # Type-based: the receiver's static class is a substrate class.
+        recv_desc = target[1] if target[0] in ("elem", "slice") else target
+        if recv_desc[0] == "attr":
+            recv_type = self.static_type(recv_desc[1])
+        else:
+            recv_type = None
+        typed = self.graph.is_substrate_class(recv_type)
+        named = any(n in SUBSTRATE_NAMES for n in names)
+        if typed or named:
+            self.summary.substrate_writes.append(
+                [line, col, ".".join(names + [leaf])]
+            )
+
+    # -- expression evaluation -----------------------------------------
+
+    def eval(self, desc: list) -> AVal:
+        kind = desc[0]
+        if kind == "const":
+            return FRESH
+        if kind == "name":
+            return self.env.get(desc[1], FRESH)
+        if kind == "attr":
+            base = self.eval(desc[1])
+            ids = set()
+            for atom in base.ids:
+                if atom[0] == "p" and atom[2] == 0:
+                    ids.add(("pa", atom[1], desc[2]))
+                elif atom[0] in ("p", "pa"):
+                    ids.update(_collapse1({atom}))
+            # A method reference on a known class is a function ref.
+            base_t = self.static_type(desc[1])
+            if base_t is not None:
+                for fid in self.graph.method_candidates(base_t, desc[2]):
+                    ids.add(("fn", fid))
+                for fid in self.an.bound_callbacks(base_t, desc[2]):
+                    ids.add(("fn", fid))
+            return AVal(frozenset(ids), _collapse1(ids))
+        if kind == "elem":
+            base = self.eval(desc[1])
+            elems = _elements(base)
+            return AVal(elems, _collapse1(elems))
+        if kind == "slice":
+            base = self.eval(desc[1])
+            return AVal(frozenset(a for a in base.ids if a[0] == "fn"), _elements(base))
+        if kind == "make":
+            contents = set()
+            for item in desc[1]:
+                if item[0] == "spread":
+                    contents.update(_elements(self.eval(item[1])))
+                else:
+                    av = self.eval(item)
+                    contents.update(av.ids | av.contents)
+            return AVal(_EMPTY, frozenset(contents))
+        if kind == "comp":
+            saved_env, saved_tenv = dict(self.env), dict(self.tenv)
+            try:
+                for names, it in desc[1]:
+                    it_av = self.eval(it)
+                    element = AVal(_elements(it_av), _collapse1(_elements(it_av)))
+                    for name in names:
+                        self.env[name] = element
+                        self.tenv.pop(name, None)
+                contents = set()
+                for elt in desc[2]:
+                    av = self.eval(elt)
+                    contents.update(av.ids | av.contents)
+            finally:
+                self.env, self.tenv = saved_env, saved_tenv
+            return AVal(_EMPTY, frozenset(contents))
+        if kind == "union":
+            out = FRESH
+            for item in desc[1]:
+                out = out | self.eval(item)
+            return out
+        if kind == "bin":
+            l, r = self.eval(desc[1]), self.eval(desc[2])
+            return AVal(_EMPTY, l.contents | r.contents)
+        if kind == "seq":
+            for item in desc[1]:
+                self.eval(item)
+            return FRESH
+        if kind == "walrus":
+            value = self.eval(desc[2])
+            self.env[desc[1]] = value
+            return value
+        if kind == "spread":
+            return self.eval(desc[1])
+        if kind == "fnref":
+            return AVal(frozenset({("fn", desc[1])}))
+        if kind == "call":
+            return self.eval_call(desc)
+        return FRESH
+
+    # -- calls ---------------------------------------------------------
+
+    def callee_dotted(self, func: list) -> str | None:
+        """Canonical dotted name of the callee, via import aliases."""
+        parts: list[str] = []
+        node = func
+        if node[0] == "meth":
+            parts.append(node[2])
+            node = node[1]
+            while node[0] == "attr":
+                parts.append(node[2])
+                node = node[1]
+        elif node[0] == "ref":
+            return self.aliases.get(node[1], node[1])
+        if node[0] != "name":
+            return None
+        head = self.aliases.get(node[1])
+        if head is None:
+            return None
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    def eval_call(self, desc: list) -> AVal:
+        _, func, arg_descs, kw_descs, line, col = desc
+        args: list[AVal] = []
+        for a in arg_descs:
+            if a[0] == "spread":
+                av = self.eval(a[1])
+                args.append(AVal(_elements(av), _collapse1(_elements(av))))
+            else:
+                args.append(self.eval(a))
+        kwargs = {kw: self.eval(d) for kw, d in kw_descs}
+        tail = func[2] if func[0] == "meth" else (func[1] if func[0] == "ref" else None)
+
+        self._scan_registrations(func, tail, args, kwargs)
+
+        callees = self._resolve_callees(func, tail)
+        result = FRESH
+        if callees:
+            for fid in callees:
+                self.summary.direct_calls.append([fid, line, col])
+                result = result | self._apply_summary(fid, func, args, kwargs, line, col)
+            return result
+
+        # Class constructor?
+        dotted = self.callee_dotted(func)
+        cfq = self.graph.resolve_class(dotted) if dotted else None
+        if cfq is None and func[0] == "ref":
+            local = f"{self.modkey}.{func[1]}"
+            cfq = local if local in self.graph.classes else None
+        if cfq is not None:
+            self._record_ctor_bindings(cfq, kwargs)
+            ctor = self.graph.inherited_method(cfq, "__init__")
+            if ctor is not None:
+                self._apply_summary(ctor, ["ref", "__init__"], [FRESH] + args, kwargs, line, col)
+            contents = set()
+            for av in list(args) + list(kwargs.values()):
+                contents.update(av.ids | av.contents)
+            return AVal(_EMPTY, frozenset(contents))
+
+        return self._external_call(func, tail, dotted, args, line, col)
+
+    def _resolve_callees(self, func: list, tail: str | None) -> list[str]:
+        """Project functions this call may invoke directly."""
+        out: list[str] = []
+        if func[0] == "ref":
+            name = func[1]
+            bound = self.env.get(name)
+            if bound is not None:
+                out.extend(a[1] for a in sorted(bound.ids) if a[0] == "fn")
+            if not out:
+                dotted = self.aliases.get(name, None)
+                if dotted is None:
+                    dotted = f"{self.modkey}.{name}"
+                fid = self.graph.resolve_function(dotted)
+                if fid is not None:
+                    out.append(fid)
+        elif func[0] == "meth":
+            base_desc, attr = func[1], func[2]
+            dotted = self.callee_dotted(func)
+            fid = self.graph.resolve_function(dotted) if dotted else None
+            if fid is not None:
+                return [fid]
+            base_t = self.static_type(base_desc)
+            if base_t is not None:
+                out.extend(self.graph.method_candidates(base_t, attr))
+                out.extend(
+                    f for f in self.an.bound_callbacks(base_t, attr) if f not in out
+                )
+            else:
+                base_av = self.eval(base_desc)
+                out.extend(a[1] for a in sorted(base_av.ids) if a[0] == "fn")
+        elif func[0] == "desc":
+            av = self.eval(func[1])
+            out.extend(a[1] for a in sorted(av.ids) if a[0] == "fn")
+        return out
+
+    def _apply_summary(
+        self,
+        fid: str,
+        func: list,
+        args: list[AVal],
+        kwargs: dict[str, AVal],
+        line: int,
+        col: int,
+    ) -> AVal:
+        callee = self.graph.function_ir.get(fid)
+        summary = self.an.summaries.get(fid)
+        if callee is None or summary is None:
+            return FRESH
+        params = callee["params"]
+        argmap: dict[str, AVal] = {}
+        positional = list(args)
+        if (
+            callee["class"] is not None
+            and params[:1] == ["self"]
+            and func[0] in ("meth", "desc", "ref")
+        ):
+            if func[0] == "meth":
+                argmap["self"] = self.eval(func[1])
+            else:
+                argmap["self"] = FRESH
+            rest = params[1:]
+        else:
+            rest = params
+        for pname, av in zip(rest, positional):
+            argmap[pname] = av
+        for kw, av in kwargs.items():
+            if kw in params:
+                argmap[kw] = av
+
+        def subst(atoms: Iterable[Atom]) -> frozenset:
+            out = set()
+            for atom in atoms:
+                if atom[0] == "fn":
+                    out.add(atom)
+                elif atom[0] == "p":
+                    av = argmap.get(atom[1])
+                    if av is None:
+                        continue
+                    out.update(av.ids if atom[2] == 0 else _elements(av))
+                elif atom[0] == "pa":
+                    av = argmap.get(atom[1])
+                    if av is None:
+                        continue
+                    for a in av.ids:
+                        if a[0] == "p" and a[2] == 0:
+                            out.add(("pa", a[1], atom[2]))
+                        else:
+                            out.update(_collapse1({a}))
+            return frozenset(out)
+
+        via = callee["name"]
+        for atom in summary.mutations:
+            for mapped in subst({atom}):
+                if mapped[0] in ("p", "pa"):
+                    self._add_mutation(mapped, line, col, via)
+        for pname in summary.registers_flow_params:
+            av = argmap.get(pname)
+            if av is not None:
+                self._register_flow(av)
+        for pname in summary.registers_handler_params:
+            av = argmap.get(pname)
+            if av is not None:
+                self._register_handler(av)
+        return AVal(subst(summary.ret.ids), subst(summary.ret.contents))
+
+    def _external_call(
+        self,
+        func: list,
+        tail: str | None,
+        dotted: str | None,
+        args: list[AVal],
+        line: int,
+        col: int,
+    ) -> AVal:
+        key = dotted or tail
+        if key in DEEP_BREAKERS:
+            return FRESH
+        if key in SHALLOW_COPIES or tail in SHALLOW_COPIES and func[0] == "ref":
+            if not args:
+                return FRESH
+            return AVal(_EMPTY, _elements(args[0]))
+        if (key in PAIRING or tail in PAIRING and func[0] == "ref") and args:
+            contents = set()
+            for av in args:
+                contents.update(_elements(av))
+            return AVal(_EMPTY, frozenset(contents))
+        if key in ELEMENT_PICKS and args:
+            elems = _elements(args[0])
+            return AVal(elems, _collapse1(elems))
+        if func[0] == "meth":
+            base = self.eval(func[1])
+            attr = func[2]
+            if attr in MUTATOR_METHODS:
+                value = FRESH
+                if attr in STORING_MUTATORS:
+                    for av in args:
+                        value = value | av
+                self.mutate(func[1], value, line, col, via=f".{attr}()")
+                if attr in ("pop", "popitem"):
+                    elems = _elements(base)
+                    return AVal(elems, _collapse1(elems))
+                return FRESH
+            if attr in _METH_ELEMENT:
+                elems = _elements(base)
+                return AVal(elems, _collapse1(elems))
+            if attr in _METH_VIEW:
+                return AVal(_EMPTY, _elements(base))
+            if attr in _METH_SHALLOW:
+                return AVal(_EMPTY, _elements(base))
+        return FRESH
+
+    # -- registration scanning -----------------------------------------
+
+    def _scan_registrations(
+        self,
+        func: list,
+        tail: str | None,
+        args: list[AVal],
+        kwargs: dict[str, AVal],
+    ) -> None:
+        if tail is None or func[0] != "meth":
+            return
+        if tail in _FLOW_POSITIONAL:
+            idx = _FLOW_POSITIONAL[tail]
+            if len(args) > idx:
+                self._register_flow(args[idx])
+            if "on_complete" in kwargs:
+                self._register_flow(kwargs["on_complete"])
+        elif tail in _FLOW_BATCH:
+            for av in list(args) + list(kwargs.values()):
+                self._register_flow(av)
+        elif tail in _FLOW_KW_ONLY:
+            if "on_complete" in kwargs:
+                self._register_flow(kwargs["on_complete"])
+        elif tail in _HANDLER_REGISTRARS:
+            for av in list(args) + list(kwargs.values()):
+                self._register_handler(av)
+
+    def _register_flow(self, av: AVal) -> None:
+        for atom in av.ids | av.contents:
+            if atom[0] == "fn":
+                self.summary.flow_fns.add(atom[1])
+            elif atom[0] in ("p", "pa"):
+                self.summary.registers_flow_params.add(atom[1])
+
+    def _register_handler(self, av: AVal) -> None:
+        for atom in av.ids | av.contents:
+            if atom[0] == "fn":
+                self.summary.handler_fns.add(atom[1])
+            elif atom[0] in ("p", "pa"):
+                self.summary.registers_handler_params.add(atom[1])
+
+    def _record_ctor_bindings(self, cfq: str, kwargs: dict[str, AVal]) -> None:
+        for kw, av in kwargs.items():
+            fids = {atom[1] for atom in av.ids | av.contents if atom[0] == "fn"}
+            if fids:
+                self.summary.bound.setdefault(cfq, {}).setdefault(kw, set()).update(
+                    fids
+                )
+
+
+def _root_name(desc: list) -> str | None:
+    """The local name a store chain is rooted at, if any."""
+    while desc[0] in ("elem", "slice", "attr"):
+        desc = desc[1]
+    return desc[1] if desc[0] == "name" else None
+
+
+def _attr_chain(desc: list) -> tuple[list[str], str] | None:
+    """``(["self", "cluster"], "_flows")`` for ``self.cluster._flows[...]``.
+
+    Returns None when the target is not an attribute store/chain.
+    """
+    # Walk down to the innermost attribute link in the *target* chain.
+    names: list[str] = []
+    node = desc
+    while node[0] in ("elem", "slice"):
+        node = node[1]
+    if node[0] != "attr":
+        return None
+    leaf = node[2]
+    node = node[1]
+    while True:
+        if node[0] == "attr":
+            names.append(node[2])
+            node = node[1]
+        elif node[0] in ("elem", "slice"):
+            node = node[1]
+        elif node[0] == "name":
+            names.append(node[1])
+            break
+        else:
+            break
+    names.reverse()
+    return names, leaf
+
+
+def _one(atoms: frozenset) -> Atom:
+    return min(atoms, default=("p", "?", 1))
+
+
+class ProjectAnalysis:
+    """Converged whole-program facts, ready for project rules."""
+
+    MAX_ROUNDS = 8
+
+    def __init__(self, modules: Iterable[dict[str, Any]]) -> None:
+        self.graph = ProjectGraph(modules)
+        self.summaries: dict[str, Summary] = {}
+        self._bound: dict[str, dict[str, set]] = {}
+        self._converge()
+
+    def bound_callbacks(self, cfq: str, attr: str) -> list[str]:
+        """Functions bound to ``cfq(attr=...)`` at any constructor site."""
+        out: set = set()
+        for cls in self.graph.ancestors(cfq) or [cfq]:
+            out.update(self._bound.get(cls, {}).get(attr, set()))
+        return sorted(out)
+
+    def _converge(self) -> None:
+        fids = sorted(self.graph.function_ir)
+        keys = {fid: "" for fid in fids}
+        for _round in range(self.MAX_ROUNDS):
+            changed = False
+            for fid in fids:
+                summary = _Evaluator(self, fid).run()
+                self.summaries[fid] = summary
+                new_key = summary.key()
+                if new_key != keys[fid]:
+                    keys[fid] = new_key
+                    changed = True
+            self._bound = {}
+            for summary in self.summaries.values():
+                for cfq, kws in summary.bound.items():
+                    dest = self._bound.setdefault(cfq, {})
+                    for kw, fids_set in kws.items():
+                        dest.setdefault(kw, set()).update(fids_set)
+            if not changed:
+                break
+
+    # -- derived facts for rules ---------------------------------------
+
+    def flow_continuations(self) -> set:
+        out: set = set()
+        for summary in self.summaries.values():
+            out.update(summary.flow_fns)
+        return out
+
+    def handler_seeds(self) -> set:
+        out: set = set()
+        for summary in self.summaries.values():
+            out.update(summary.handler_fns)
+        return out | self.flow_continuations()
+
+    def handler_reachable(self) -> set:
+        """Functions that may execute during simulated event dispatch."""
+        reached = set(self.handler_seeds())
+        frontier = sorted(reached)
+        while frontier:
+            fid = frontier.pop()
+            summary = self.summaries.get(fid)
+            if summary is None:
+                continue
+            for callee, _line, _col in summary.direct_calls:
+                if callee not in reached:
+                    reached.add(callee)
+                    frontier.append(callee)
+        return reached
+
+
+def analyze_project(modules: Iterable[dict[str, Any]]) -> ProjectAnalysis:
+    return ProjectAnalysis(modules)

@@ -1,10 +1,16 @@
-"""Rule base class and the registry of shipped rules.
+"""Rule base classes and the registry of shipped rules.
 
-Each rule family maps to one simulator invariant (see DESIGN.md §7):
+Each rule family maps to one simulator invariant (see DESIGN.md §7/§9):
 
 * ``PIC0xx`` — determinism of replay;
 * ``PIC1xx`` — purity/picklability of user callbacks;
-* ``PIC2xx`` — bytes-conserving flow accounting.
+* ``PIC2xx`` — bytes-conserving flow accounting;
+* ``PIC3xx`` — cross-partition aliasing (whole-program);
+* ``PIC4xx`` — simulation integrity (whole-program).
+
+Per-file rules subclass :class:`Rule` and see one :class:`LintModule`
+at a time.  Whole-program rules subclass :class:`ProjectRule` and see
+the converged :class:`~repro.lint.project.analysis.ProjectAnalysis`.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.lint.model import Finding
 
 if TYPE_CHECKING:
     from repro.lint.module import LintModule
+    from repro.lint.project.analysis import ProjectAnalysis
 
 
 class Rule(abc.ABC):
@@ -35,14 +42,34 @@ class Rule(abc.ABC):
         return module.finding(self.rule_id, node, message)  # type: ignore[arg-type]
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole-program analysis, not one module."""
+
+    def check(self, module: "LintModule") -> Iterator[Finding]:
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectAnalysis") -> Iterator[Finding]:
+        """Yield findings over the converged project summaries."""
+
+
 def all_rules() -> list[Rule]:
     """Fresh instances of every shipped rule, in ID order."""
+    from repro.lint.rules.aliasing import (
+        CallbackRecordMutationRule,
+        MergeMutationRule,
+        PartitionAliasingRule,
+    )
     from repro.lint.rules.determinism import (
         SetIterationOrderRule,
         UnseededRandomRule,
         WallClockRule,
     )
     from repro.lint.rules.purity import CallbackPurityRule, TaskSpecPicklabilityRule
+    from repro.lint.rules.simulation import (
+        ReentrantHandlerMutationRule,
+        TrafficBypassRule,
+    )
     from repro.lint.rules.sizing import GetsizeofRule, RawLenByteCountRule
 
     rules: list[Rule] = [
@@ -53,6 +80,11 @@ def all_rules() -> list[Rule]:
         CallbackPurityRule(),
         GetsizeofRule(),
         RawLenByteCountRule(),
+        PartitionAliasingRule(),
+        MergeMutationRule(),
+        CallbackRecordMutationRule(),
+        TrafficBypassRule(),
+        ReentrantHandlerMutationRule(),
     ]
     return sorted(rules, key=lambda r: r.rule_id)
 

@@ -1,0 +1,189 @@
+"""PIC3xx: cross-partition aliasing (whole-program).
+
+PIC's best-effort phase is only correct if sub-problems are
+*independent*: ``partition()`` must hand each sub-problem data and
+model objects it owns, ``merge()`` must not scribble on the partial
+models it is combining, and map/reduce callbacks must not mutate
+records they received by reference (the simulator shares record lists
+between "nodes" for speed — a mutation is invisible communication that
+a real cluster would not deliver).
+
+These rules read the converged alias/mutation summaries from
+:mod:`repro.lint.project.analysis`; they see through local helper
+functions, defensive-copy rebinds, and the library's default
+``partition``/``merge`` implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.model import Finding
+from repro.lint.project.analysis import ProjectAnalysis, Summary
+from repro.lint.rules import ProjectRule
+
+
+def _method(
+    project: ProjectAnalysis, cfq: str, name: str
+) -> tuple[str, dict, Summary] | None:
+    """(fid, function IR, summary) for ``name`` defined *on* ``cfq``."""
+    fid = project.graph.own_method(cfq, name)
+    if fid is None:
+        return None
+    fn = project.graph.function_ir.get(fid)
+    summary = project.summaries.get(fid)
+    if fn is None or summary is None:
+        return None
+    return fid, fn, summary
+
+
+def _data_params(fn: dict, indices: tuple[int, ...]) -> list[str]:
+    params = fn["params"]
+    return [params[i] for i in indices if i < len(params)]
+
+
+def _finding(
+    project: ProjectAnalysis, rule_id: str, fid: str, line: int, col: int, message: str
+) -> Finding:
+    return Finding(
+        path=project.graph.fid_path[fid],
+        line=line,
+        col=col + 1,
+        rule=rule_id,
+        message=message,
+    )
+
+
+class PartitionAliasingRule(ProjectRule):
+    """PIC301: ``partition()`` leaks references to shared input/model."""
+
+    rule_id = "PIC301"
+    summary = "partition() returns references into the shared records/model objects"
+
+    def check_project(self, project: ProjectAnalysis) -> Iterator[Finding]:
+        for cfq in project.graph.program_classes():
+            found = _method(project, cfq, "partition")
+            if found is None:
+                continue
+            fid, fn, summary = found
+            escaped = summary.ret.ids | summary.ret.contents
+            for param in _data_params(fn, (1, 2)):
+                atom = ("p", param, 0)
+                if atom in escaped:
+                    line, col = summary.ret_sites.get(atom, [fn["line"], 0])
+                    yield _finding(
+                        project,
+                        self.rule_id,
+                        fid,
+                        line,
+                        col,
+                        f"partition() may return the shared '{param}' object "
+                        "itself (or a container holding it); each sub-problem "
+                        "must own its data and model — deep-copy or rebuild "
+                        "(see repro.pic.partitioners.replicate_model).",
+                    )
+
+
+class MergeMutationRule(ProjectRule):
+    """PIC302: ``merge``/``merge_element`` mutate partial models."""
+
+    rule_id = "PIC302"
+    summary = "merge()/merge_element() mutates the partial models it combines"
+
+    _METHODS = (("merge", (1,)), ("merge_element", (2,)))
+
+    def check_project(self, project: ProjectAnalysis) -> Iterator[Finding]:
+        for cfq in project.graph.program_classes():
+            for mname, indices in self._METHODS:
+                found = _method(project, cfq, mname)
+                if found is None:
+                    continue
+                fid, fn, summary = found
+                for param in _data_params(fn, indices):
+                    for atom, (line, col, via) in sorted(
+                        summary.mutations.items()
+                    ):
+                        if atom[1] != param or atom[0] not in ("p", "pa"):
+                            continue
+                        how = (
+                            "mutates" if via == "direct" else f"mutates (via {via})"
+                        )
+                        what = (
+                            f"the '{param}' argument"
+                            if atom == ("p", param, 0)
+                            else f"a partial model inside '{param}'"
+                        )
+                        yield _finding(
+                            project,
+                            self.rule_id,
+                            fid,
+                            line,
+                            col,
+                            f"{mname}() {how} {what} in place; best-effort "
+                            "rounds reuse the partial models, so merge must "
+                            "build a fresh result (dict(models[0]), "
+                            "concat_merge, average_merge...).",
+                        )
+                        break  # one finding per data param is enough
+
+
+class CallbackRecordMutationRule(ProjectRule):
+    """PIC303: map/reduce callbacks mutate records or the shared model."""
+
+    rule_id = "PIC303"
+    summary = "map/reduce callback mutates records or ctx.model received by reference"
+
+    #: callback name -> (indices of record-bearing params, ctx index or None)
+    _CALLBACKS = {
+        "map": ((2, 3), 1),
+        "batch_map": ((2,), 1),
+        "reduce": ((2, 3), 1),
+        "batch_reduce": ((2,), 1),
+        "combine": ((1, 2), None),
+    }
+
+    def check_project(self, project: ProjectAnalysis) -> Iterator[Finding]:
+        for cfq in project.graph.program_classes():
+            for mname, (indices, ctx_index) in sorted(self._CALLBACKS.items()):
+                found = _method(project, cfq, mname)
+                if found is None:
+                    continue
+                fid, fn, summary = found
+                data = set(_data_params(fn, indices))
+                ctx = (
+                    fn["params"][ctx_index]
+                    if ctx_index is not None and ctx_index < len(fn["params"])
+                    else None
+                )
+                seen: set[str] = set()
+                for atom, (line, col, via) in sorted(summary.mutations.items()):
+                    if atom[1] in data and atom[1] not in seen:
+                        seen.add(atom[1])
+                        yield _finding(
+                            project,
+                            self.rule_id,
+                            fid,
+                            line,
+                            col,
+                            f"{mname}() mutates the '{atom[1]}' records it "
+                            "received by reference; the simulator shares "
+                            "record lists between nodes, so this is invisible "
+                            "cross-node communication. Copy before mutating.",
+                        )
+                    elif (
+                        ctx is not None
+                        and atom == ("pa", ctx, "model")
+                        and "model" not in seen
+                    ):
+                        seen.add("model")
+                        yield _finding(
+                            project,
+                            self.rule_id,
+                            fid,
+                            line,
+                            col,
+                            f"{mname}() mutates ctx.model in place; the model "
+                            "object is shared across every task on a node — "
+                            "emit updates and fold them in build_model() "
+                            "instead.",
+                        )

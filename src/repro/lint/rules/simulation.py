@@ -1,0 +1,90 @@
+"""PIC4xx: simulation integrity (whole-program).
+
+The traffic numbers the repo reports (Table II / Figure 2) are only as
+honest as the rule that *every* inter-node byte passes through
+``FlowNetwork``.  The classic way to break that accidentally is to
+invoke a flow-completion continuation synchronously — the payload
+"arrives" with zero simulated latency and zero metered bytes (PIC401).
+The classic way to corrupt the event loop is an event handler reaching
+into another component's private state mid-dispatch (PIC402).
+
+Both rules are whole-program: the continuation set is collected at
+every registration site (``cluster.transfer(..., cb)``, batched
+request lists, ``dfs.write(on_complete=...)``, factory-returned
+closures, parameters forwarded into registrars), and handler
+reachability is the call-graph closure of everything registered with
+the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.model import Finding
+from repro.lint.project.analysis import ProjectAnalysis
+from repro.lint.rules import ProjectRule
+
+
+class TrafficBypassRule(ProjectRule):
+    """PIC401: a registered flow continuation is invoked synchronously."""
+
+    rule_id = "PIC401"
+    summary = "flow-completion callback invoked directly, bypassing FlowNetwork"
+
+    def check_project(self, project: ProjectAnalysis) -> Iterator[Finding]:
+        continuations = project.flow_continuations()
+        if not continuations:
+            return
+        seen: set[tuple] = set()
+        for fid in sorted(project.summaries):
+            summary = project.summaries[fid]
+            for callee, line, col in summary.direct_calls:
+                if callee not in continuations:
+                    continue
+                fn = project.graph.function_ir.get(callee)
+                name = fn["name"] if fn else callee
+                key = (project.graph.fid_path[fid], line, col, name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Finding(
+                    path=project.graph.fid_path[fid],
+                    line=line,
+                    col=col + 1,
+                    rule=self.rule_id,
+                    message=(
+                        f"'{name}' is registered as a flow-completion "
+                        "continuation but invoked synchronously here: the "
+                        "payload hops nodes with zero simulated latency and "
+                        "zero metered bytes. Route it through "
+                        "cluster.transfer(...) or sim.schedule(...)."
+                    ),
+                )
+
+
+class ReentrantHandlerMutationRule(ProjectRule):
+    """PIC402: event handlers poke substrate internals reentrantly."""
+
+    rule_id = "PIC402"
+    summary = "event handler mutates Simulation/FlowNetwork/Cluster private state"
+
+    def check_project(self, project: ProjectAnalysis) -> Iterator[Finding]:
+        reachable = project.handler_reachable()
+        for fid in sorted(project.summaries):
+            if fid not in reachable:
+                continue
+            summary = project.summaries[fid]
+            for line, col, chain in summary.substrate_writes:
+                yield Finding(
+                    path=project.graph.fid_path[fid],
+                    line=line,
+                    col=col + 1,
+                    rule=self.rule_id,
+                    message=(
+                        f"event-handler code writes '{chain}' — private "
+                        "simulator state mutated during event dispatch. "
+                        "Reentrant writes corrupt the event/flow bookkeeping; "
+                        "go through the owner's public API (schedule, "
+                        "start_flow, release...)."
+                    ),
+                )

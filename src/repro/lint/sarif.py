@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 serialization for code-scanning upload."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import finding_fingerprint
+from repro.lint.model import Finding
+from repro.lint.rules import all_rules
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+
+def _uri(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def to_sarif(findings: Sequence[Finding], errors: Sequence[str]) -> dict:
+    """The full SARIF log object for one run."""
+    rules = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(f.path)},
+                        "region": {"startLine": f.line, "startColumn": f.col},
+                    }
+                }
+            ],
+            "partialFingerprints": {"picLint/v1": finding_fingerprint(f)},
+        }
+        for f in findings
+    ]
+    notifications = [
+        {"level": "error", "message": {"text": err}} for err in errors
+    ]
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "pic-lint",
+                "informationUri": "https://example.invalid/pic-lint",
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+    if notifications:
+        run["invocations"] = [
+            {
+                "executionSuccessful": False,
+                "toolExecutionNotifications": notifications,
+            }
+        ]
+    return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}

@@ -23,11 +23,11 @@ record them for the benchmark harness.
 from __future__ import annotations
 
 import itertools
-from typing import Any
+from typing import Any, Callable
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import TrafficCategory
-from repro.dfs.dfs import DistributedFileSystem
+from repro.dfs.dfs import DistributedFileSystem, FileMeta
 from repro.mapreduce.job import Counters, JobResult, JobSpec, TaskContext
 from repro.mapreduce.records import DistributedDataset, group_by_key
 from repro.mapreduce.scheduler import SlotScheduler
@@ -230,7 +230,7 @@ class _JobState:
                 preferred=preferred,
             )
 
-    def _make_map_start(self, split_index: int):
+    def _make_map_start(self, split_index: int) -> Callable[[int], None]:
         def on_slot(node_id: int) -> None:
             if split_index in self._completed_maps:
                 # A speculative twin already won; give the slot back.
@@ -243,7 +243,9 @@ class _JobState:
 
         return on_slot
 
-    def _schedule_attempt(self, attempt: dict, delay: float, callback) -> None:
+    def _schedule_attempt(
+        self, attempt: dict, delay: float, callback: Callable[[], Any]
+    ) -> None:
         """Schedule a timer belonging to ``attempt`` (cancellable on kill)."""
         event = self.cluster.sim.schedule(delay, callback)
         attempt["events"].append(event)
@@ -269,7 +271,7 @@ class _JobState:
         split = self.dataset.splits[split_index]
         pending = {"count": 1}  # 1 for the task-overhead timer
 
-        def part_done(_arg=None) -> None:
+        def part_done(_arg: Any = None) -> None:
             if attempt["dead"]:
                 return
             pending["count"] -= 1
@@ -481,8 +483,10 @@ class _JobState:
                     preferred=tuple(n.node_id for n in candidates[:3]),
                 )
 
-    def _make_bucket_arrival(self, partition: int, recs: list[tuple[Any, Any]]):
-        def on_arrival(_flow=None) -> None:
+    def _make_bucket_arrival(
+        self, partition: int, recs: list[tuple[Any, Any]]
+    ) -> Callable[..., None]:
+        def on_arrival(_flow: Any = None) -> None:
             self._buckets[partition].append(recs)
             self._bucket_arrivals[partition] += 1
             self._maybe_start_reduce(partition)
@@ -532,7 +536,7 @@ class _JobState:
             replication=self.spec.output_replication,
         )
 
-    def _reduce_finish(self, partition: int, node_id: int, meta) -> None:
+    def _reduce_finish(self, partition: int, node_id: int, meta: FileMeta) -> None:
         replicas: set[int] = set()
         for block in meta.blocks:
             replicas.update(block.replicas)

@@ -324,7 +324,7 @@ class BestEffortEngine:
     ) -> JobSpec:
         program = self.program
 
-        def solve(ctx: TaskContext, records: Sequence[tuple[Any, Any]]):
+        def solve(ctx: TaskContext, records: Sequence[tuple[Any, Any]]) -> Any:
             assert ctx.split_index is not None
             if solved_cache is not None and ctx.split_index in solved_cache:
                 solved, iterations, compute = solved_cache[ctx.split_index]
@@ -355,14 +355,14 @@ class BestEffortEngine:
             # Section III-C: the merge runs as a normal MapReduce job —
             # tasks emit their *owned* model entries per element and
             # reducers apply merge_element with full parallelism.
-            def be_mapper(ctx, records):
+            def be_mapper(ctx: TaskContext, records: Sequence[tuple[Any, Any]]) -> None:
                 solved = solve(ctx, records)
                 for key, value in program.owned_model_records(
                     solved, ctx.split_index
                 ):
                     ctx.emit(key, value)
 
-            def be_reducer(ctx, key, values):
+            def be_reducer(ctx: TaskContext, key: Any, values: list[Any]) -> None:
                 ctx.emit(key, program.merge_element(key, values))
 
             # The closures capture `program`/`solved_cache`, so the job
@@ -377,11 +377,13 @@ class BestEffortEngine:
 
         # Centralized merge: one reducer reconstructs every partial
         # model and applies the programmer's merge().
-        def be_mapper_central(ctx, records):
+        def be_mapper_central(ctx: TaskContext, records: Sequence[tuple[Any, Any]]) -> None:
             solved = solve(ctx, records)
             ctx.emit(0, (ctx.split_index, program.model_records(solved)))
 
-        def be_reducer_central(ctx, grouped):
+        def be_reducer_central(
+            ctx: TaskContext, grouped: Sequence[tuple[Any, list[Any]]]
+        ) -> None:
             partials: list[tuple[int, list[tuple[Any, Any]]]] = []
             for _key, values in grouped:
                 partials.extend(values)

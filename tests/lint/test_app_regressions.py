@@ -1,0 +1,94 @@
+"""Regression guards for the real applications.
+
+The shipped apps and the mapreduce runner are clean under the
+whole-program rules (the committed baseline is empty).  These tests pin
+that, and then prove the rules would catch the most likely regressions
+by re-linting each real source file with a one-line seeded bug.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.engine import run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def mutated(path: Path, old: str, new: str) -> str:
+    source = path.read_text(encoding="utf-8")
+    assert old in source, f"mutation anchor vanished from {path}: {old!r}"
+    return source.replace(old, new, 1)
+
+
+def project_rules(source: str) -> list[str]:
+    return sorted(
+        {f.rule for f in lint_source(source) if f.rule[3] in "34"}
+    )
+
+
+class TestRealTreeIsClean:
+    @pytest.mark.parametrize("subtree", ["src", "benchmarks", "examples"])
+    def test_no_aliasing_or_simulation_findings(self, subtree):
+        run = run_lint([REPO / subtree])
+        offenders = [f for f in run.findings if f.rule[3] in "34"]
+        assert offenders == []
+        assert run.errors == []
+
+
+class TestSeededRegressions:
+    def test_linsolve_partition_sharing_the_model_is_caught(self):
+        # Drop the per-block sub-model and hand every block the shared
+        # driver model: the exact bug partition() exists to avoid.
+        source = mutated(
+            REPO / "src/repro/apps/linsolve/program.py",
+            "out.append((list(block), sub_model))",
+            "out.append((list(block), model))",
+        )
+        assert "PIC301" in project_rules(source)
+
+    def test_smoothing_merge_writing_into_a_partial_is_caught(self):
+        # Accumulate into models[0] instead of a fresh dict.
+        source = mutated(
+            REPO / "src/repro/apps/smoothing/program.py",
+            "                merged[key] = model[key]",
+            "                models[0][key] = model[key]",
+        )
+        assert "PIC302" in project_rules(source)
+
+    def test_kmeans_batch_map_writing_ctx_model_is_caught(self):
+        # Task-side centroid update would silently diverge from the
+        # driver's model copy.
+        source = mutated(
+            REPO / "src/repro/apps/kmeans/program.py",
+            "        emit = ctx.emit",
+            "        ctx.model[0] = centroids[0]\n        emit = ctx.emit",
+        )
+        assert "PIC303" in project_rules(source)
+
+    def test_runner_skipping_the_simulated_read_is_caught(self):
+        # Deliver the input-read completion synchronously instead of
+        # through the flow network: zero simulated cost, wrong clock.
+        source = mutated(
+            REPO / "src/repro/mapreduce/runner.py",
+            "                self.cluster.transfer(\n"
+            "                    src, node_id, split.nbytes, "
+            "TrafficCategory.INPUT, part_done\n"
+            "                )",
+            "                part_done(None)",
+        )
+        assert "PIC401" in project_rules(source)
+
+    def test_runner_handler_draining_sim_queue_is_caught(self):
+        # An event handler reaching into the simulator's private queue
+        # mid-dispatch corrupts the event loop.
+        source = mutated(
+            REPO / "src/repro/mapreduce/runner.py",
+            '    def _map_compute_phase(self, attempt: dict) -> None:\n'
+            '        split_index = attempt["split"]',
+            '    def _map_compute_phase(self, attempt: dict) -> None:\n'
+            '        self.cluster.sim._queue.clear()\n'
+            '        split_index = attempt["split"]',
+        )
+        assert "PIC402" in project_rules(source)

@@ -1,0 +1,128 @@
+"""Incremental cache: warm re-lints skip parsing and finish faster."""
+
+import json
+
+import pytest
+
+from repro.lint.cache import cache_salt
+from repro.lint.engine import run_lint
+
+N_FILES = 50
+
+MODULE_TEMPLATE = '''\
+"""Generated fixture module {i}."""
+
+
+def transform_{i}(records):
+    out = []
+    for key, value in records:
+        out.append((key, value * {i}))
+    return out
+
+
+def fold_{i}(pairs):
+    acc = {{}}
+    for key, value in pairs:
+        acc[key] = acc.get(key, 0) + value
+    return acc
+
+
+class Stage{i}:
+    def __init__(self, width):
+        self.width = width
+        self.buckets = [[] for _ in range(width)]
+
+    def route(self, key, value):
+        self.buckets[hash(key) % self.width].append((key, value))
+
+    def drain(self):
+        for bucket in self.buckets:
+            yield from sorted(bucket)
+            bucket[:] = []
+'''
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    pkg = tmp_path / "gen"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    for i in range(N_FILES):
+        (pkg / f"mod_{i:03d}.py").write_text(
+            MODULE_TEMPLATE.format(i=i), encoding="utf-8"
+        )
+    return pkg
+
+
+class TestWarmRuns:
+    def test_warm_run_parses_nothing_and_is_faster(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = run_lint([tree], cache_path=cache)
+        assert cold.stats["files_parsed"] == N_FILES + 1
+        assert cold.stats["cache_hits"] == 0
+
+        warm = run_lint([tree], cache_path=cache)
+        assert warm.stats["files_parsed"] == 0
+        assert warm.stats["cache_hits"] == N_FILES + 1
+        assert warm.stats["elapsed_s"] < cold.stats["elapsed_s"]
+
+    def test_warm_run_reports_identical_findings(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = run_lint([tree], cache_path=cache)
+        warm = run_lint([tree], cache_path=cache)
+        assert warm.findings == cold.findings
+        assert warm.errors == cold.errors
+
+    def test_editing_one_file_reparses_only_that_file(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        run_lint([tree], cache_path=cache)
+        target = tree / "mod_007.py"
+        target.write_text(target.read_text() + "\nEXTRA = 1\n", encoding="utf-8")
+        rerun = run_lint([tree], cache_path=cache)
+        assert rerun.stats["files_parsed"] == 1
+        assert rerun.stats["cache_hits"] == N_FILES
+
+
+class TestInvalidation:
+    def test_parse_errors_are_negative_cached(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        bad = tree / "mod_bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        first = run_lint([tree], cache_path=cache)
+        assert len(first.errors) == 1
+        second = run_lint([tree], cache_path=cache)
+        assert second.errors == first.errors
+        assert second.stats["files_parsed"] == 0
+
+    def test_deleted_files_are_pruned(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        run_lint([tree], cache_path=cache)
+        (tree / "mod_000.py").unlink()
+        run_lint([tree], cache_path=cache)
+        entries = json.loads(cache.read_text(encoding="utf-8"))["entries"]
+        assert not any(p.endswith("mod_000.py") for p in entries)
+
+    def test_rule_set_change_invalidates_the_cache(self, tree, tmp_path):
+        # The salt covers the active per-file rule IDs: running with a
+        # different selection must not serve entries from a full run.
+        cache = tmp_path / "cache.json"
+        run_lint([tree], cache_path=cache)
+        from repro.lint.rules import all_rules
+
+        subset = [r for r in all_rules() if r.rule_id != "PIC001"]
+        rerun = run_lint([tree], rules=subset, cache_path=cache)
+        assert rerun.stats["cache_hits"] == 0
+        assert rerun.stats["files_parsed"] == N_FILES + 1
+
+    def test_salt_depends_on_rule_ids(self):
+        assert cache_salt(["PIC001"]) != cache_salt(["PIC001", "PIC301"])
+        assert cache_salt(["PIC301", "PIC001"]) == cache_salt(["PIC001", "PIC301"])
+
+    def test_corrupt_cache_file_is_ignored(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        run = run_lint([tree], cache_path=cache)
+        assert run.stats["files_parsed"] == N_FILES + 1
+        # ... and the run rewrites it into a usable cache.
+        warm = run_lint([tree], cache_path=cache)
+        assert warm.stats["files_parsed"] == 0

@@ -154,7 +154,20 @@ class TestModuleEntryPoint:
         assert "PIC202" in proc.stdout
 
     def test_self_hosting_tree_is_clean(self):
-        # The acceptance gate: the linter passes over its own codebase.
-        proc = self._run("src", "benchmarks")
+        # The acceptance gate: the linter passes over its own codebase,
+        # the benchmarks and the examples — whole-program rules included
+        # — with the committed (empty) baseline.
+        proc = self._run(
+            "src", "benchmarks", "examples",
+            "--no-cache", "--baseline", ".piclint-baseline.json",
+        )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert proc.stdout.strip().endswith("files")
+
+    def test_self_hosting_warm_cache_parses_nothing(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = self._run("src", "--cache-file", str(cache), "--stats")
+        assert cold.returncode == 0, cold.stdout + cold.stderr
+        warm = self._run("src", "--cache-file", str(cache), "--stats")
+        assert warm.returncode == 0, warm.stdout + warm.stderr
+        assert "parsed=0" in warm.stderr

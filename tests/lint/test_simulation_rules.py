@@ -1,0 +1,173 @@
+"""PIC401/PIC402: simulated-traffic integrity.
+
+PIC401 — a callback registered as a flow continuation must only run
+when the simulated transfer completes; invoking it synchronously
+delivers the payload at zero simulated cost.
+
+PIC402 — event handlers must not reach into the private state of the
+simulation substrate (Simulation, FlowNetwork, Cluster, ...) while the
+event loop is dispatching.
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def rules(source):
+    return [
+        f.rule
+        for f in lint_source(textwrap.dedent(source))
+        if f.rule.startswith("PIC4")
+    ]
+
+
+class TestTrafficBypass:
+    def test_synchronous_invocation_of_registered_continuation_flagged(self):
+        src = """
+        class Shuffle:
+            def send(self, cluster, payload, sink):
+                def on_done(flow):
+                    sink.append(payload)
+                cluster.transfer(0, 1, 100.0, "shuffle", on_done)
+                on_done(None)
+        """
+        assert rules(src) == ["PIC401"]
+
+    def test_bypass_through_callback_factory_flagged(self):
+        # The continuation is built by a helper; the registration and
+        # the bypassing call both go through the returned reference.
+        src = """
+        class Shuffle:
+            def __init__(self):
+                self.buf = []
+
+            def _make_arrival(self, payload):
+                def on_arrival(flow):
+                    self.buf.append(payload)
+                return on_arrival
+
+            def send(self, cluster, payload):
+                cb = self._make_arrival(payload)
+                cluster.transfer(0, 1, 100.0, "shuffle", cb)
+                cb(None)
+        """
+        assert rules(src) == ["PIC401"]
+
+    def test_bypass_through_forwarding_registrar_flagged(self):
+        # send_with() forwards its parameter into transfer(); callbacks
+        # passed to it become continuations transitively.
+        src = """
+        def send_with(cluster, nbytes, done):
+            cluster.transfer(0, 1, nbytes, "shuffle", done)
+
+        class Shuffle:
+            def go(self, cluster, sink):
+                def fin(flow):
+                    sink.append(1)
+                send_with(cluster, 10.0, fin)
+                fin(None)
+        """
+        assert rules(src) == ["PIC401"]
+
+    def test_near_miss_registration_only_silent(self):
+        src = """
+        class Shuffle:
+            def send(self, cluster, payload, sink):
+                def on_done(flow):
+                    sink.append(payload)
+                cluster.transfer(0, 1, 100.0, "shuffle", on_done)
+        """
+        assert rules(src) == []
+
+    def test_near_miss_plain_helper_call_silent(self):
+        # Synchronously calling a function that was never registered as
+        # a continuation is ordinary control flow.
+        src = """
+        class Shuffle:
+            def send(self, cluster, payload, sink):
+                def log(flow):
+                    sink.append(payload)
+                cluster.transfer(0, 1, 100.0, "shuffle", None)
+                log(None)
+        """
+        assert rules(src) == []
+
+
+class TestReentrantHandlerMutation:
+    def test_handler_clearing_simulator_queue_flagged(self):
+        src = """
+        class Driver:
+            def __init__(self, sim):
+                self.sim = sim
+
+            def arm(self):
+                self.sim.schedule(1.0, self._tick)
+
+            def _tick(self):
+                self.sim._queue.clear()
+        """
+        assert rules(src) == ["PIC402"]
+
+    def test_mutation_reached_through_helper_flagged(self):
+        src = """
+        class Driver:
+            def __init__(self, sim):
+                self.sim = sim
+
+            def arm(self):
+                self.sim.schedule(1.0, self._tick)
+
+            def _tick(self):
+                self._drain()
+
+            def _drain(self):
+                self.sim._queue.clear()
+        """
+        assert rules(src) == ["PIC402"]
+
+    def test_near_miss_handler_mutating_own_state_silent(self):
+        src = """
+        class Driver:
+            def __init__(self, sim):
+                self.sim = sim
+                self._buckets = []
+
+            def arm(self):
+                self.sim.schedule(1.0, self._tick)
+
+            def _tick(self):
+                self._buckets.clear()
+        """
+        assert rules(src) == []
+
+    def test_near_miss_substrate_implementation_module_exempt(self):
+        # A module that defines the substrate class is its
+        # implementation; touching private state there is the point.
+        src = """
+        class FlowNetwork:
+            def __init__(self, sim):
+                self.sim = sim
+                self._flows = {}
+
+            def arm(self):
+                self.sim.schedule(1.0, self._sweep)
+
+            def _sweep(self):
+                self._flows.clear()
+        """
+        assert rules(src) == []
+
+    def test_near_miss_public_attribute_write_silent(self):
+        src = """
+        class Driver:
+            def __init__(self, sim):
+                self.sim = sim
+
+            def arm(self):
+                self.sim.schedule(1.0, self._tick)
+
+            def _tick(self):
+                self.sim.now = 0.0
+        """
+        assert rules(src) == []
