@@ -13,6 +13,12 @@ Times the host-side hot paths of the reproduction:
   on the flow simulator (64/256 nodes, heterogeneous sizes), timing the
   structure-of-arrays rate recomputation and same-horizon completion
   batching at scale;
+* ``kmeans_500k_columnar`` / ``kmeans_500k_row`` — one full MapReduce
+  job over 500k 3-d points with the columnar data plane on vs off
+  (same simulated seconds and bytes; the wall-clock gap is the point);
+* ``shuffle_columnar_vs_row`` / ``shuffle_row`` — the shuffle hot path
+  in isolation: hash-partition + bucket + size one big record batch,
+  columnar vs scalar;
 * ``solve_parallel_w{N}`` — the same solves through the process pool
   (reported for trajectory; multi-core hosts should see < serial).
 
@@ -48,9 +54,11 @@ DEFAULT_BASELINE = os.path.join(
 SIZES = {
     "smoke": dict(sizing_records=20_000, points=4_000, k=5, partitions=6,
                   job_records=8_000, e2e_points=4_000, fanout_classes=11,
-                  repeats=3),
+                  bulk_points=500_000, shuffle_records=200_000,
+                  repeats=5),
     "full": dict(sizing_records=200_000, points=40_000, k=10, partitions=24,
                  job_records=40_000, e2e_points=20_000, fanout_classes=23,
+                 bulk_points=500_000, shuffle_records=1_000_000,
                  repeats=5),
 }
 
@@ -145,25 +153,31 @@ def _make_solve_parallel(workers: int):
 
 def bench_shuffle_accounting_job(cfg) -> Callable[[], None]:
     from repro.apps.kmeans import gaussian_mixture
+    from repro.cluster.cluster import Cluster
+    from repro.dfs.dfs import DistributedFileSystem
+    from repro.mapreduce.records import DistributedDataset
 
     records, _ = gaussian_mixture(cfg["job_records"], 4, dim=3,
                                   separation=6.0, seed=1)
+    # Materialized once, outside the timed region, like the bulk k-means
+    # bench: drivers load input a single time and run jobs over it, and
+    # keeping the row->columnar conversion out of the loop measures the
+    # same job body in both PIC_COLUMNAR modes.
+    cluster = Cluster(num_nodes=4, nodes_per_rack=4)
+    dfs = DistributedFileSystem(cluster, replication=2, seed=5)
+    dataset = DistributedDataset.materialize(
+        dfs, "/perf/input", records, num_splits=8
+    )
+    waves = iter(range(1_000_000))
 
     def run() -> None:
-        from repro.cluster.cluster import Cluster
-        from repro.dfs.dfs import DistributedFileSystem
         from repro.mapreduce.job import JobSpec
-        from repro.mapreduce.records import DistributedDataset
         from repro.mapreduce.runner import JobRunner
         from repro.parallel import SerialExecutor
 
-        cluster = Cluster(num_nodes=4, nodes_per_rack=4)
-        dfs = DistributedFileSystem(cluster, replication=2, seed=5)
-        dataset = DistributedDataset.materialize(
-            dfs, "/perf/input", records, num_splits=8
-        )
         spec = JobSpec(
-            name="perf-shuffle",
+            # unique name per repeat: job output paths must not collide
+            name=f"perf-shuffle-{next(waves)}",
             batch_mapper=_perf_mapper,
             batch_reducer=_perf_reducer,
             num_reducers=4,
@@ -241,6 +255,102 @@ def _make_flow_fanout(num_nodes: int):
     return bench
 
 
+def _make_kmeans_bulk(columnar: bool):
+    """One full MapReduce job over ``bulk_points`` k-means records.
+
+    Simulated seconds/bytes are identical in both modes (that is tested
+    elsewhere); the bench times the host-side data plane — vectorized
+    assignment, batched hashing/bucketing/sizing, vectorized combine —
+    against the per-record loops of the row path.
+    """
+
+    def bench(cfg) -> Callable[[], None]:
+        from repro.cluster.cluster import Cluster
+        from repro.dfs.dfs import DistributedFileSystem
+        from repro.mapreduce.records import DistributedDataset
+        from repro.mapreduce.runner import JobRunner
+        from repro.parallel import SerialExecutor
+
+        program, records, model0 = _kmeans_fixture(cfg["bulk_points"], cfg["k"])
+        mode = "1" if columnar else "0"
+        # The dataset is materialized once, outside the timed region:
+        # iterative drivers load input a single time and then run a job
+        # per iteration over it, which is the path being measured.
+        saved = os.environ.get("PIC_COLUMNAR")
+        os.environ["PIC_COLUMNAR"] = mode
+        try:
+            cluster = Cluster(num_nodes=4, nodes_per_rack=4)
+            dfs = DistributedFileSystem(cluster, replication=2, seed=5)
+            dataset = DistributedDataset.materialize(
+                dfs, "/perf/kmeans-bulk", records, num_splits=8
+            )
+        finally:
+            if saved is None:
+                os.environ.pop("PIC_COLUMNAR", None)
+            else:
+                os.environ["PIC_COLUMNAR"] = saved
+
+        waves = iter(range(1_000_000))
+
+        def run() -> None:
+            runner = JobRunner(cluster, dfs, executor=SerialExecutor())
+            runner.run(
+                # unique name per repeat: job output paths must not collide
+                spec=program.job_spec(suffix=f"-{next(waves)}"),
+                dataset=dataset,
+                model=model0,
+                model_bytes=program.model_bytes(model0),
+            )
+
+        return run
+
+    return bench
+
+
+def _make_shuffle(columnar: bool):
+    """The shuffle hot path in isolation: partition + bucket + size.
+
+    Records mirror k-means map output (int key, (vector, count) value);
+    both variants compute the same partition ids, the same bucket
+    membership, and the same wire bytes.
+    """
+
+    def bench(cfg) -> Callable[[], None]:
+        from repro.mapreduce.columnar import ColumnBatch
+
+        n = cfg["shuffle_records"]
+        rng = np.random.default_rng(9)
+        vectors = rng.standard_normal((n, 3))
+        rows = [(i % 1024, (vectors[i], 1)) for i in range(n)]
+        batch = ColumnBatch.from_rows(rows)
+        num_buckets = 8
+
+        def run() -> None:
+            from repro.mapreduce.records import hash_partitioner
+            from repro.util.sizing import sizeof_records
+
+            if columnar:
+                pids = batch.partition_ids(num_buckets)
+                order = np.argsort(pids, kind="stable")
+                in_order = batch.take(order)
+                counts = np.bincount(pids, minlength=num_buckets)
+                bounds = np.concatenate(([0], np.cumsum(counts)))
+                total = sum(
+                    in_order.slice(int(bounds[p]), int(bounds[p + 1])).nbytes_wire()
+                    for p in range(num_buckets)
+                )
+            else:
+                buckets: list[list] = [[] for _ in range(num_buckets)]
+                for record in rows:
+                    buckets[hash_partitioner(record[0], num_buckets)].append(record)
+                total = sum(sizeof_records(bucket) for bucket in buckets)
+            assert total > 0
+
+        return run
+
+    return bench
+
+
 BENCHES: dict[str, Callable[[dict], Callable[[], None]]] = {
     "sizing_homogeneous": bench_sizing_homogeneous,
     "sizing_mixed": bench_sizing_mixed,
@@ -249,6 +359,10 @@ BENCHES: dict[str, Callable[[dict], Callable[[], None]]] = {
     "end_to_end_pic": bench_end_to_end_pic,
     "flow_fanout_64": _make_flow_fanout(64),
     "flow_fanout_256": _make_flow_fanout(256),
+    "kmeans_500k_columnar": _make_kmeans_bulk(True),
+    "kmeans_500k_row": _make_kmeans_bulk(False),
+    "shuffle_columnar_vs_row": _make_shuffle(True),
+    "shuffle_row": _make_shuffle(False),
 }
 
 # Pool benches are trajectory-only: their wall-clock depends on host

@@ -23,11 +23,51 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.apps.kmeans.serial import assign_points
+from repro.mapreduce.columnar import (
+    ArrayColumn,
+    ColumnBatch,
+    GroupedBatch,
+    ScalarColumn,
+    TupleColumn,
+    int_column,
+)
 from repro.mapreduce.costs import CostHints
 from repro.mapreduce.job import TaskContext
 from repro.pic.api import PICProgram
 from repro.pic.convergence import kv_model_max_change
 from repro.util.rng import SeedLike, as_generator
+
+
+def _sum_groups(grouped: GroupedBatch) -> tuple[np.ndarray, np.ndarray] | None:
+    """Per-group sums of ``(vector, count)`` values, or ``None`` when the
+    value layout is not the expected float-matrix + int-count columns.
+
+    Each group's vector sum is ``np.add.reduce`` over a *contiguous*
+    slice of the sorted value matrix — bit-identical to the scalar
+    path's ``np.add.reduce(np.stack(values))`` over the same rows.
+    """
+    values = grouped.sorted_values
+    if not isinstance(values, TupleColumn) or len(values.slots) != 2:
+        return None
+    vecs, cnts = values.slots
+    if not isinstance(vecs, ArrayColumn) or vecs.data.ndim != 2:
+        return None
+    if vecs.data.dtype != np.float64:
+        return None
+    if not isinstance(cnts, ScalarColumn) or cnts.kind != "int":
+        return None
+    data = vecs.data
+    counts = cnts.values
+    num_groups = len(grouped)
+    totals = np.empty((num_groups, data.shape[1]), dtype=np.float64)
+    csums = np.empty(num_groups, dtype=np.int64)
+    starts = grouped.starts.tolist()
+    ends = grouped.ends.tolist()
+    for g in range(num_groups):
+        s, e = starts[g], ends[g]
+        totals[g] = np.add.reduce(data[s:e], axis=0)
+        csums[g] = counts[s:e].sum()
+    return totals, csums
 
 
 class KMeansProgram(PICProgram):
@@ -82,30 +122,79 @@ class KMeansProgram(PICProgram):
         model: dict[int, np.ndarray] = ctx.model
         centroid_ids = sorted(model)
         centroids = np.stack([model[c] for c in centroid_ids])
-        points = np.stack([np.asarray(v, dtype=float) for _k, v in records])
+        columnar = isinstance(records, ColumnBatch)
+        points = None
+        if columnar:
+            values = records.values
+            if isinstance(values, ArrayColumn) and values.data.dtype == np.float64:
+                points = values.data  # input splits: one row per point
+            elif (
+                isinstance(values, TupleColumn)
+                and len(values.slots) == 2
+                and isinstance(values.slots[0], ArrayColumn)
+                and values.slots[0].data.dtype == np.float64
+            ):
+                points = values.slots[0].data
+        if points is None:
+            points = np.stack([np.asarray(v, dtype=float) for _k, v in records])
         assignment = assign_points(points, centroids)
+        if columnar:
+            ids = np.asarray(centroid_ids, dtype=np.int64)[assignment]
+            ones = ScalarColumn("int", np.ones(len(points), dtype=np.int64))
+            ctx.emit_batch(
+                ColumnBatch(
+                    int_column(ids),
+                    TupleColumn((ArrayColumn(points), ones), len(points)),
+                )
+            )
+            return
         emit = ctx.emit
         for row, a in enumerate(assignment):
             emit(centroid_ids[int(a)], (points[row], 1))
 
     def combine(self, key: Any, values: list[Any]) -> Any:
         """Sum (vector, count) pairs locally before the shuffle."""
-        total = np.zeros(self.dim)
-        count = 0
-        for vec, n in values:
-            total += vec
-            count += n
+        total = np.add.reduce(np.stack([vec for vec, _n in values]), axis=0)
+        count = sum(n for _vec, n in values)
         return (total, count)
+
+    def combine_batch(self, grouped: Any) -> Any:
+        """Vectorized :meth:`combine` over a whole bucket's groups."""
+        sums = _sum_groups(grouped)
+        if sums is None:
+            return None
+        totals, csums = sums
+        ones_counts = ScalarColumn("int", csums)
+        return ColumnBatch(
+            grouped.unique_keys(),
+            TupleColumn((ArrayColumn(totals), ones_counts), len(csums)),
+        )
 
     def reduce(self, ctx: TaskContext, key: Any, values: list[Any]) -> None:
         """New centroid = summed vectors / summed counts (Figure 1(b))."""
-        total = np.zeros(self.dim)
-        count = 0
-        for vec, n in values:
-            total += vec
-            count += n
+        total = np.add.reduce(np.stack([vec for vec, _n in values]), axis=0)
+        count = sum(n for _vec, n in values)
         if count > 0:
             ctx.emit(key, total / count)
+
+    def batch_reduce(
+        self, ctx: TaskContext, grouped: list[tuple[Any, list[Any]]]
+    ) -> None:
+        """Vectorized centroid recomputation for one reduce partition."""
+        sums = _sum_groups(grouped) if isinstance(grouped, GroupedBatch) else None
+        if sums is None:
+            for key, values in grouped:
+                self.reduce(ctx, key, values)
+            return
+        totals, csums = sums
+        keep = np.nonzero(csums > 0)[0]
+        assert isinstance(grouped, GroupedBatch)
+        ctx.emit_batch(
+            ColumnBatch(
+                grouped.unique_keys().take(keep),
+                ArrayColumn(totals[keep] / csums[keep, None]),
+            )
+        )
 
     def build_model(
         self, model: dict[int, np.ndarray], output: list[tuple[Any, Any]]

@@ -21,6 +21,12 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.mapreduce.columnar import (
+    ColumnBatch,
+    emit_first_values,
+    float_column,
+    int_column,
+)
 from repro.mapreduce.costs import CostHints
 from repro.mapreduce.job import TaskContext
 from repro.pic.api import PICProgram
@@ -71,9 +77,17 @@ class LinearSolverProgram(PICProgram):
         return {int(i) : 0.0 for i, _row in records}
 
     def batch_map(self, ctx: TaskContext, records: Sequence[tuple[Any, Any]]) -> None:
-        """One Jacobi sweep over this split's rows."""
+        """One Jacobi sweep over this split's rows.
+
+        The sparse per-row accumulation stays a Python loop (row
+        supports are ragged), but a columnar split emits its updates as
+        typed int/float columns so the shuffle's hashing, grouping, and
+        sizing all run vectorized downstream.
+        """
         model: dict[int, float] = ctx.model
-        emit = ctx.emit
+        columnar = isinstance(records, ColumnBatch)
+        keys: list[Any] = []
+        updates: list[float] = []
         for i, (cols, vals, b_i) in records:
             acc = 0.0
             diag = 0.0
@@ -84,11 +98,28 @@ class LinearSolverProgram(PICProgram):
                     acc += val * model[col]
             if diag == 0.0:
                 raise ZeroDivisionError(f"row {i} has no diagonal entry")
-            emit(i, (b_i - acc) / diag)
+            keys.append(i)
+            updates.append((b_i - acc) / diag)
+        if columnar:
+            ctx.emit_batch(
+                ColumnBatch(
+                    int_column(np.asarray(keys, dtype=np.int64)),
+                    float_column(np.asarray(updates, dtype=np.float64)),
+                )
+            )
+            return
+        for key, x_i in zip(keys, updates):
+            ctx.emit(key, x_i)
 
     def reduce(self, ctx: TaskContext, key: Any, values: list[Any]) -> None:
         """Identity: one updated unknown per row key."""
         ctx.emit(key, values[0])
+
+    def batch_reduce(
+        self, ctx: TaskContext, grouped: list[tuple[Any, list[Any]]]
+    ) -> None:
+        """Identity reduce, vectorized when the groups are columnar."""
+        emit_first_values(ctx, grouped)
 
     def build_model(self, model: dict, output: list[tuple[Any, Any]]) -> dict:
         """Fold the sweep's updated unknowns into the solution vector."""

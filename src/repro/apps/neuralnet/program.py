@@ -33,6 +33,12 @@ from repro.apps.neuralnet.mlp import (
     loss_and_gradients,
     misclassification,
 )
+from repro.mapreduce.columnar import (
+    ArrayColumn,
+    ColumnBatch,
+    ScalarColumn,
+    TupleColumn,
+)
 from repro.mapreduce.costs import CostHints
 from repro.mapreduce.job import TaskContext
 from repro.pic.api import PICProgram
@@ -115,15 +121,31 @@ class NeuralNetProgram(PICProgram):
 
     def batch_map(self, ctx: TaskContext, records: Sequence[tuple[Any, Any]]) -> None:
         """One SGD epoch over this split, emitting weighted weights."""
-        if not records:
+        if not len(records):
             return
-        X = np.stack([x for _i, (x, _y) in records])
-        y = np.asarray([label for _i, (_x, label) in records])
+        columnar = isinstance(records, ColumnBatch)
+        X = None
+        if columnar:
+            values = records.values
+            if (
+                isinstance(values, TupleColumn)
+                and len(values.slots) == 2
+                and isinstance(values.slots[0], ArrayColumn)
+                and isinstance(values.slots[1], ScalarColumn)
+            ):
+                X = values.slots[0].data
+                y = values.slots[1].values
+        if X is None:
+            X = np.stack([x for _i, (x, _y) in records])
+            y = np.asarray([label for _i, (_x, label) in records])
         trained = self.sgd_epoch(ctx.model, X, y)
         n = len(records)
-        for key in PARAM_KEYS:
-            # Emit a weighted *sum* so partial weights combine exactly.
-            ctx.emit(key, (trained[key] * n, n))
+        # Emit a weighted *sum* so partial weights combine exactly.
+        out = [(key, (trained[key] * n, n)) for key in PARAM_KEYS]
+        if columnar:
+            ctx.emit_batch(ColumnBatch.from_rows(out))
+        else:
+            ctx.emit_all(out)
 
     def combine(self, key: Any, values: list[Any]) -> Any:
         """Sum weighted weights locally before the shuffle."""

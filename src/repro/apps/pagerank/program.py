@@ -26,6 +26,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.mapreduce.columnar import ColumnBatch, emit_first_values
 from repro.mapreduce.costs import CostHints
 from repro.mapreduce.job import TaskContext
 from repro.pic.api import PICProgram
@@ -130,7 +131,7 @@ class PageRankProgram(PICProgram):
             return JobSpec(
                 name=f"{self.name}{suffix}",
                 batch_mapper=self._map_propagate,
-                reducer=self._reduce_identity,
+                batch_reducer=self._reduce_identity,
                 num_reducers=self.num_reducers,
                 costs=self.costs,
             )
@@ -140,6 +141,17 @@ class PageRankProgram(PICProgram):
         self, ctx: TaskContext, records: Sequence[tuple[Any, Any]]
     ) -> None:
         model = ctx.model
+        if isinstance(records, ColumnBatch):
+            # The emission loop stays scalar (it walks ragged adjacency
+            # lists through a dict), but typed int/float columns let the
+            # shuffle hash, group, and size the output vectorized.
+            rows: list[tuple[Any, Any]] = []
+            for v, outs in records:
+                rows.append((v, 0.0))  # keep sink-only vertices alive
+                for t in outs:
+                    rows.append((t, model[(EDGE, v, t)]))
+            ctx.emit_batch(ColumnBatch.from_rows(rows))
+            return
         emit = ctx.emit
         for v, outs in records:
             emit(v, 0.0)  # keep sink-only vertices alive
@@ -157,6 +169,16 @@ class PageRankProgram(PICProgram):
         self, ctx: TaskContext, records: Sequence[tuple[Any, Any]]
     ) -> None:
         model = ctx.model
+        if isinstance(records, ColumnBatch):
+            rows: list[tuple[Any, Any]] = []
+            for v, outs in records:
+                if not outs:
+                    continue
+                score = model[(PR, v)] / len(outs)
+                for t in outs:
+                    rows.append(((EDGE, v, t), score))
+            ctx.emit_batch(ColumnBatch.from_rows(rows))
+            return
         emit = ctx.emit
         for v, outs in records:
             if not outs:
@@ -165,8 +187,10 @@ class PageRankProgram(PICProgram):
             for t in outs:
                 emit((EDGE, v, t), score)
 
-    def _reduce_identity(self, ctx: TaskContext, key: Any, values: list[Any]) -> None:
-        ctx.emit(key, values[0])
+    def _reduce_identity(
+        self, ctx: TaskContext, grouped: list[tuple[Any, list[Any]]]
+    ) -> None:
+        emit_first_values(ctx, grouped)
 
     def build_model(self, model: dict, output: list[tuple[Any, Any]]) -> dict:
         """Fold updated ranks/edge scores into the model."""

@@ -13,6 +13,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Sequence
 
@@ -49,6 +50,12 @@ def _add_common(parser: argparse.ArgumentParser, default_partitions: int) -> Non
         help="host processes for independent task computations "
              "(default: $PIC_WORKERS or 1; wall-clock only — simulated "
              "results are identical for any worker count)",
+    )
+    parser.add_argument(
+        "--columnar", choices=("on", "off"), default=None,
+        help="columnar (numpy) record batches in the MapReduce data "
+             "plane (default: $PIC_COLUMNAR or on; wall-clock only — "
+             "simulated results are identical either way)",
     )
 
 
@@ -270,6 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "columnar", None) is not None:
+        from repro.mapreduce.columnar import COLUMNAR_ENV_VAR
+
+        os.environ[COLUMNAR_ENV_VAR] = "1" if args.columnar == "on" else "0"
     print(args.func(args))
     return 0
 

@@ -91,6 +91,16 @@ SHALLOW_COPIES = frozenset(
 PAIRING = frozenset({"zip", "enumerate", "map", "filter", "itertools.chain"})
 #: Calls returning an *element* of their argument.
 ELEMENT_PICKS = frozenset({"min", "max", "next"})
+#: Columnar constructors: fresh wrappers whose *contents* alias their
+#: arguments (a ColumnBatch built from a shared column still reaches
+#: the shared arrays).  Matched by trailing name so both the class and
+#: its dotted import path hit.
+COLUMN_CTORS = frozenset(
+    {
+        "ColumnBatch", "GroupedBatch", "ArrayColumn", "ScalarColumn",
+        "StringColumn", "TupleColumn", "ObjectColumn",
+    }
+)
 
 #: Methods that mutate their receiver in place.
 MUTATOR_METHODS = frozenset(
@@ -559,6 +569,11 @@ class _Evaluator:
         col: int,
     ) -> AVal:
         key = dotted or tail
+        if key is not None and key.rsplit(".", 1)[-1] in COLUMN_CTORS:
+            contents = set()
+            for av in args:
+                contents.update(av.ids | av.contents)
+            return AVal(_EMPTY, frozenset(contents))
         if key in DEEP_BREAKERS:
             return FRESH
         if key in SHALLOW_COPIES or tail in SHALLOW_COPIES and func[0] == "ref":

@@ -57,6 +57,7 @@ def all_rules() -> list[Rule]:
     """Fresh instances of every shipped rule, in ID order."""
     from repro.lint.rules.aliasing import (
         CallbackRecordMutationRule,
+        ColumnViewRule,
         MergeMutationRule,
         PartitionAliasingRule,
     )
@@ -83,6 +84,7 @@ def all_rules() -> list[Rule]:
         PartitionAliasingRule(),
         MergeMutationRule(),
         CallbackRecordMutationRule(),
+        ColumnViewRule(),
         TrafficBypassRule(),
         ReentrantHandlerMutationRule(),
     ]

@@ -28,6 +28,14 @@ from repro.mapreduce.records import (
     group_by_key,
     hash_partitioner,
 )
+from repro.mapreduce.columnar import (
+    ColumnBatch,
+    GroupedBatch,
+    build_column,
+    columnar_enabled,
+    group_batch,
+    group_records,
+)
 from repro.mapreduce.costs import CostHints
 from repro.mapreduce.job import JobSpec, JobResult, Counters
 from repro.mapreduce.runner import JobRunner
@@ -38,6 +46,12 @@ __all__ = [
     "DistributedDataset",
     "group_by_key",
     "hash_partitioner",
+    "ColumnBatch",
+    "GroupedBatch",
+    "build_column",
+    "columnar_enabled",
+    "group_batch",
+    "group_records",
     "CostHints",
     "JobSpec",
     "JobResult",

@@ -1,0 +1,750 @@
+"""Columnar record batches: numpy structure-of-arrays for the data plane.
+
+A :class:`ColumnBatch` holds one typed key column and one typed value
+column instead of a Python list of ``(key, value)`` tuples.  The batch
+is **losslessly convertible** to and from the row representation —
+``ColumnBatch.from_rows(rows).to_rows() == rows`` — so every consumer
+that needs tuples still gets exactly the objects it would have seen,
+while the hot paths (hash partitioning, group-by, combiner application,
+wire sizing) run as whole-array numpy operations.
+
+Equivalence contract (enforced by tests):
+
+* **Partitioning** — :func:`stable_hash_column` is bit-identical to the
+  scalar :func:`repro.mapreduce.records.stable_hash` for every key the
+  typed columns accept; keys the vectorized packer cannot represent
+  exactly (huge ints, numpy scalars, non-ASCII strings, ...) land in
+  :class:`ObjectColumn` and are hashed with the scalar function itself.
+* **Grouping** — the stable argsort of a typed key column yields the
+  same group order and the same within-group value order as
+  ``group_by_key`` (dict-arrival grouping followed by ``sorted``);
+  key sets that would hit ``group_by_key``'s mixed-type fallback (or
+  float NaNs, which Python's comparison sort handles differently from
+  numpy) are detected and routed back to the row implementation.
+* **Sizing** — ``nbytes_wire`` computes, per column, exactly the sum of
+  :func:`repro.util.sizing.sizeof_record` over the materialized rows.
+
+The backend is enabled by default; set ``PIC_COLUMNAR=0`` (or pass
+``--columnar off`` on the CLI) to force the row path everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.mapreduce.records import group_by_key, stable_hash
+from repro.util.sizing import (
+    ARRAY_HEADER,
+    SEQ_HEADER,
+    STR_HEADER,
+    sizeof_value,
+)
+
+COLUMNAR_ENV_VAR = "PIC_COLUMNAR"
+
+
+def columnar_enabled() -> bool:
+    """True unless ``PIC_COLUMNAR`` is set to ``0``/``off``/``false``."""
+    raw = os.environ.get(COLUMNAR_ENV_VAR, "1").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
+# -- vectorized crc32 --------------------------------------------------------
+
+_CRC_TABLE: np.ndarray | None = None
+
+
+def _crc_table() -> np.ndarray:
+    """The standard reflected CRC-32 table (polynomial 0xEDB88320)."""
+    global _CRC_TABLE
+    if _CRC_TABLE is None:
+        table = np.empty(256, dtype=np.uint32)
+        for i in range(256):
+            c = i
+            for _ in range(8):
+                c = (c >> 1) ^ 0xEDB88320 if c & 1 else c >> 1
+            table[i] = c
+        _CRC_TABLE = table
+    return _CRC_TABLE
+
+
+def crc32_rows(matrix: np.ndarray) -> np.ndarray:
+    """crc32 of each row of a ``(n, width)`` uint8 matrix.
+
+    Bit-identical to ``zlib.crc32(row.tobytes())`` for every row: the
+    table-driven update is the same algorithm, iterated over byte
+    *columns* so the per-row state updates run vectorized.
+    """
+    if matrix.ndim != 2 or matrix.dtype != np.uint8:
+        raise ValueError("crc32_rows needs a (n, width) uint8 matrix")
+    table = _crc_table()
+    crc = np.full(matrix.shape[0], 0xFFFFFFFF, dtype=np.uint32)
+    for col in range(matrix.shape[1]):
+        crc = (crc >> 8) ^ table[(crc ^ matrix[:, col]) & 0xFF]
+    return crc ^ np.uint32(0xFFFFFFFF)
+
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _hash_int64(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``stable_hash`` for an int64 array.
+
+    The scalar hash packs ``b"i" + key.to_bytes(16, "little", signed=True)``;
+    for int64-range keys the upper 8 bytes are pure sign extension.
+    """
+    mat = np.empty((len(values), 17), dtype=np.uint8)
+    mat[:, 0] = ord("i")
+    le = values.astype("<i8").view(np.uint8).reshape(-1, 8)
+    mat[:, 1:9] = le
+    mat[:, 9:] = np.where(values < 0, 0xFF, 0)[:, None].astype(np.uint8)
+    return crc32_rows(mat)
+
+
+def _hash_bool(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``stable_hash`` for a bool array (``b"b1"``/``b"b0"``)."""
+    mat = np.empty((len(values), 2), dtype=np.uint8)
+    mat[:, 0] = ord("b")
+    mat[:, 1] = np.where(values, ord("1"), ord("0"))
+    return crc32_rows(mat)
+
+
+def _hash_str_rows(data: Sequence[bytes], prefix: bytes) -> np.ndarray:
+    """Length-grouped vectorized crc32 over prefixed byte strings."""
+    n = len(data)
+    out = np.empty(n, dtype=np.uint32)
+    lengths = np.fromiter((len(b) for b in data), dtype=np.int64, count=n)
+    for width in np.unique(lengths):
+        idx = np.flatnonzero(lengths == width)
+        packed = b"".join(prefix + data[i] for i in idx)
+        mat = np.frombuffer(packed, dtype=np.uint8).reshape(
+            len(idx), int(width) + len(prefix)
+        )
+        out[idx] = crc32_rows(mat)
+    return out
+
+
+# -- columns -----------------------------------------------------------------
+
+
+class Column:
+    """One typed column of ``n`` values; subclasses define the storage."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def row(self, i: int) -> Any:
+        """The ``i``-th value, as the exact Python object the row path sees."""
+        raise NotImplementedError
+
+    def rows(self) -> list[Any]:
+        """All values as Python objects (array rows come back as views)."""
+        return [self.row(i) for i in range(len(self))]
+
+    def take(self, idx: np.ndarray) -> "Column":
+        """A new column holding ``self[idx]`` (fancy indexing: copies)."""
+        raise NotImplementedError
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """A contiguous sub-column (array storage comes back as views)."""
+        raise NotImplementedError
+
+    def nbytes_wire(self) -> int:
+        """Serialized size under the rules of :mod:`repro.util.sizing`."""
+        raise NotImplementedError
+
+    def stable_hashes(self) -> np.ndarray:
+        """``stable_hash`` of every value, vectorized where the layout
+        allows and via the scalar function otherwise."""
+        n = len(self)
+        return np.fromiter(
+            (stable_hash(self.row(i)) for i in range(n)),
+            dtype=np.uint32,
+            count=n,
+        )
+
+    def sort_order(self) -> np.ndarray | None:
+        """A stable permutation sorting the column the way ``sorted``
+        orders the keys, or ``None`` when numpy's order would differ."""
+        return None
+
+    def backing_arrays(self) -> list[np.ndarray]:
+        """The numpy arrays holding this column's data (for shared
+        memory export); object storage has none."""
+        return []
+
+
+class ScalarColumn(Column):
+    """int, float, or bool values with exact Python types.
+
+    ``kind`` is one of ``"int"``/``"float"``/``"bool"``; ``row`` converts
+    back with ``int()``/``float()``/``bool()`` so materialized rows are
+    indistinguishable from the originals.
+    """
+
+    __slots__ = ("kind", "values")
+
+    def __init__(self, kind: str, values: np.ndarray) -> None:
+        if kind not in ("int", "float", "bool"):
+            raise ValueError(f"bad scalar column kind {kind!r}")
+        self.kind = kind
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def row(self, i: int) -> Any:
+        v = self.values[i]
+        if self.kind == "int":
+            return int(v)
+        if self.kind == "float":
+            return float(v)
+        return bool(v)
+
+    def rows(self) -> list[Any]:
+        return self.values.tolist()
+
+    def take(self, idx: np.ndarray) -> "ScalarColumn":
+        return ScalarColumn(self.kind, self.values[idx])
+
+    def slice(self, start: int, stop: int) -> "ScalarColumn":
+        return ScalarColumn(self.kind, self.values[start:stop])
+
+    def nbytes_wire(self) -> int:
+        per = 1 if self.kind == "bool" else 8
+        return per * len(self.values)
+
+    def stable_hashes(self) -> np.ndarray:
+        if self.kind == "int":
+            return _hash_int64(self.values)
+        if self.kind == "bool":
+            return _hash_bool(self.values)
+        # Floats hash over repr(), which has no fixed-width encoding.
+        data = [b"f" + repr(v).encode() for v in self.values.tolist()]
+        return _hash_str_rows(data, b"")
+
+    def sort_order(self) -> np.ndarray | None:
+        if self.kind == "float" and bool(np.isnan(self.values).any()):
+            # Python's comparison sort leaves NaNs wherever they fall;
+            # numpy sorts them to the end.  Not equivalent — fall back.
+            return None
+        return np.argsort(self.values, kind="stable")
+
+    def backing_arrays(self) -> list[np.ndarray]:
+        return [self.values]
+
+
+class StringColumn(Column):
+    """ASCII strings in a numpy ``<U`` array.
+
+    Restricted to ASCII without trailing NULs so that byte lengths equal
+    character counts (wire sizing) and numpy's lexicographic order
+    matches Python's (grouping); everything else goes to
+    :class:`ObjectColumn`.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def row(self, i: int) -> str:
+        return str(self.values[i])
+
+    def rows(self) -> list[Any]:
+        return self.values.tolist()
+
+    def take(self, idx: np.ndarray) -> "StringColumn":
+        return StringColumn(self.values[idx])
+
+    def slice(self, start: int, stop: int) -> "StringColumn":
+        return StringColumn(self.values[start:stop])
+
+    def nbytes_wire(self) -> int:
+        if len(self.values) == 0:
+            return 0
+        lengths = np.char.str_len(self.values)
+        return int(lengths.sum()) + STR_HEADER * len(self.values)
+
+    def stable_hashes(self) -> np.ndarray:
+        data = [s.encode("utf-8") for s in self.values.tolist()]
+        return _hash_str_rows(data, b"s")
+
+    def sort_order(self) -> np.ndarray | None:
+        return np.argsort(self.values, kind="stable")
+
+    def backing_arrays(self) -> list[np.ndarray]:
+        return [self.values]
+
+
+class ArrayColumn(Column):
+    """ndarray values of one dtype and shape, stacked into ``data``.
+
+    ``data`` has shape ``(n, *row_shape)``; ``row`` returns a view, so
+    materialized rows share storage with the column (read-only use only
+    — pic-lint's PIC304 guards the escape hatches).
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray) -> None:
+        if data.ndim < 2:
+            raise ValueError("ArrayColumn data must be at least 2-d")
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def row(self, i: int) -> np.ndarray:
+        return self.data[i]
+
+    def rows(self) -> list[Any]:
+        return list(self.data)
+
+    def take(self, idx: np.ndarray) -> "ArrayColumn":
+        return ArrayColumn(self.data[idx])
+
+    def slice(self, start: int, stop: int) -> "ArrayColumn":
+        return ArrayColumn(self.data[start:stop])
+
+    def nbytes_wire(self) -> int:
+        n = len(self.data)
+        row_nbytes = self.data.itemsize * int(
+            np.prod(self.data.shape[1:], dtype=np.int64)
+        )
+        return (row_nbytes + ARRAY_HEADER) * n
+
+    def stable_hashes(self) -> np.ndarray:
+        raise TypeError("unhashable partition key type: ndarray")
+
+    def backing_arrays(self) -> list[np.ndarray]:
+        return [self.data]
+
+
+class TupleColumn(Column):
+    """Tuples of one arity, one sub-column per slot."""
+
+    __slots__ = ("slots", "length")
+
+    def __init__(self, slots: tuple[Column, ...], length: int | None = None) -> None:
+        if not slots and length is None:
+            raise ValueError("zero-arity TupleColumn needs an explicit length")
+        self.slots = slots
+        self.length = length if length is not None else len(slots[0])
+        for slot in slots:
+            if len(slot) != self.length:
+                raise ValueError("TupleColumn slots disagree on length")
+
+    def __len__(self) -> int:
+        return self.length
+
+    def row(self, i: int) -> tuple[Any, ...]:
+        return tuple(slot.row(i) for slot in self.slots)
+
+    def rows(self) -> list[Any]:
+        if not self.slots:
+            return [()] * self.length
+        return list(zip(*(slot.rows() for slot in self.slots)))
+
+    def take(self, idx: np.ndarray) -> "TupleColumn":
+        return TupleColumn(
+            tuple(slot.take(idx) for slot in self.slots), length=len(idx)
+        )
+
+    def slice(self, start: int, stop: int) -> "TupleColumn":
+        start, stop, _ = slice(start, stop).indices(self.length)
+        return TupleColumn(
+            tuple(slot.slice(start, stop) for slot in self.slots),
+            length=max(stop - start, 0),
+        )
+
+    def nbytes_wire(self) -> int:
+        return SEQ_HEADER * self.length + sum(
+            slot.nbytes_wire() for slot in self.slots
+        )
+
+    def stable_hashes(self) -> np.ndarray:
+        # Scalar packing: b"t" + b"|".join(item_hash.to_bytes(8, "little")).
+        n = self.length
+        arity = len(self.slots)
+        if arity == 0:
+            return np.full(n, zlib.crc32(b"t"), dtype=np.uint32)
+        width = 1 + 9 * arity - 1  # "t", then 8-byte hashes joined by "|"
+        mat = np.empty((n, width), dtype=np.uint8)
+        mat[:, 0] = ord("t")
+        for s, slot in enumerate(self.slots):
+            base = 1 + 9 * s
+            if s > 0:
+                mat[:, base - 1] = ord("|")
+            hashes = slot.stable_hashes().astype(np.uint64)
+            mat[:, base : base + 8] = (
+                hashes.astype("<u8").view(np.uint8).reshape(-1, 8)
+            )
+        return crc32_rows(mat)
+
+    def sort_order(self) -> np.ndarray | None:
+        if not self.slots:
+            return np.arange(self.length)
+        sort_keys: list[np.ndarray] = []
+        for slot in reversed(self.slots):
+            if isinstance(slot, ScalarColumn):
+                if slot.kind == "float" and bool(np.isnan(slot.values).any()):
+                    return None
+                sort_keys.append(slot.values)
+            elif isinstance(slot, StringColumn):
+                sort_keys.append(slot.values)
+            else:
+                return None
+        return np.lexsort(sort_keys)
+
+    def backing_arrays(self) -> list[np.ndarray]:
+        return [a for slot in self.slots for a in slot.backing_arrays()]
+
+
+class ObjectColumn(Column):
+    """The lossless fallback: any Python objects, stored as-is."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: list[Any]) -> None:
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def row(self, i: int) -> Any:
+        return self.values[i]
+
+    def rows(self) -> list[Any]:
+        return list(self.values)
+
+    def take(self, idx: np.ndarray) -> "ObjectColumn":
+        return ObjectColumn([self.values[int(i)] for i in idx])
+
+    def slice(self, start: int, stop: int) -> "ObjectColumn":
+        return ObjectColumn(self.values[start:stop])
+
+    def nbytes_wire(self) -> int:
+        return sum(sizeof_value(v) for v in self.values)
+
+
+# -- column construction -----------------------------------------------------
+
+
+def _is_clean_ascii(s: str) -> bool:
+    # numpy "<U" arrays silently trim trailing NULs; non-ASCII strings
+    # break the bytes==chars sizing identity and numpy-vs-Python sort order.
+    return s.isascii() and not s.endswith("\x00")
+
+
+def build_column(values: list[Any]) -> Column:
+    """Build the most specific column that represents ``values`` losslessly."""
+    if not values:
+        return ObjectColumn([])
+    first = values[0]
+    t = type(first)
+    if t is bool:
+        if all(type(v) is bool for v in values):
+            return ScalarColumn("bool", np.array(values, dtype=bool))
+    elif t is int:
+        if all(
+            type(v) is int and _INT64_MIN <= v <= _INT64_MAX for v in values
+        ):
+            return ScalarColumn(
+                "int", np.array(values, dtype=np.int64)
+            )
+    elif t is float:
+        if all(type(v) is float for v in values):
+            return ScalarColumn("float", np.array(values, dtype=np.float64))
+    elif t is str:
+        if all(type(v) is str and _is_clean_ascii(v) for v in values):
+            return StringColumn(np.array(values))
+    elif t is np.ndarray:
+        dtype, shape = first.dtype, first.shape
+        if shape and all(
+            type(v) is np.ndarray and v.dtype == dtype and v.shape == shape
+            for v in values
+        ):
+            return ArrayColumn(np.stack(values))
+    elif t is tuple:
+        arity = len(first)
+        if all(type(v) is tuple and len(v) == arity for v in values):
+            if arity == 0:
+                return TupleColumn((), length=len(values))
+            slots = tuple(
+                build_column([v[s] for v in values]) for s in range(arity)
+            )
+            return TupleColumn(slots, length=len(values))
+    return ObjectColumn(list(values))
+
+
+def int_column(values: np.ndarray) -> ScalarColumn:
+    """Wrap an int64 array emitted by a vectorized mapper."""
+    return ScalarColumn("int", np.ascontiguousarray(values, dtype=np.int64))
+
+
+def float_column(values: np.ndarray) -> ScalarColumn:
+    """Wrap a float64 array emitted by a vectorized mapper."""
+    return ScalarColumn("float", np.ascontiguousarray(values, dtype=np.float64))
+
+
+# -- batches -----------------------------------------------------------------
+
+
+class ColumnBatch:
+    """A batch of ``(key, value)`` records in structure-of-arrays form."""
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: Column, values: Column) -> None:
+        if len(keys) != len(values):
+            raise ValueError(
+                f"key column has {len(keys)} rows, value column {len(values)}"
+            )
+        self.keys = keys
+        self.values = values
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple[Any, Any]]) -> "ColumnBatch":
+        """Columnize a row list; every value round-trips exactly."""
+        keys = build_column([k for k, _v in rows])
+        values = build_column([v for _k, v in rows])
+        return cls(keys, values)
+
+    def to_rows(self) -> list[tuple[Any, Any]]:
+        """Materialize the row representation."""
+        return list(zip(self.keys.rows(), self.values.rows()))
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self.to_rows())
+
+    def take(self, idx: np.ndarray) -> "ColumnBatch":
+        return ColumnBatch(self.keys.take(idx), self.values.take(idx))
+
+    def slice(self, start: int, stop: int) -> "ColumnBatch":
+        return ColumnBatch(
+            self.keys.slice(start, stop), self.values.slice(start, stop)
+        )
+
+    def nbytes_wire(self) -> int:
+        """Total wire size; equals ``sizeof_records(self.to_rows())``."""
+        return self.keys.nbytes_wire() + self.values.nbytes_wire()
+
+    def partition_ids(self, num_partitions: int) -> np.ndarray:
+        """``stable_hash(key) % num_partitions`` for every row, batched."""
+        if num_partitions <= 0:
+            raise ValueError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        hashes = self.keys.stable_hashes().astype(np.int64)
+        return hashes % num_partitions
+
+    def backing_arrays(self) -> list[np.ndarray]:
+        """All numpy arrays backing both columns (shared-memory export)."""
+        return self.keys.backing_arrays() + self.values.backing_arrays()
+
+
+def as_column_batch(records: Any) -> ColumnBatch | None:
+    """``records`` as a :class:`ColumnBatch`, or ``None`` if it is rows."""
+    return records if isinstance(records, ColumnBatch) else None
+
+
+def concat_batches(batches: Sequence[ColumnBatch]) -> ColumnBatch | None:
+    """Concatenate batches in order; ``None`` when column types disagree."""
+    if not batches:
+        return None
+    if len(batches) == 1:
+        return batches[0]
+    keys = _concat_columns([b.keys for b in batches])
+    values = _concat_columns([b.values for b in batches])
+    if keys is None or values is None:
+        return None
+    return ColumnBatch(keys, values)
+
+
+def _concat_columns(cols: list[Column]) -> Column | None:
+    kinds = {type(c) for c in cols}
+    if kinds == {ScalarColumn}:
+        scalars = [c for c in cols if isinstance(c, ScalarColumn)]
+        if len({c.kind for c in scalars}) != 1:
+            return None
+        return ScalarColumn(
+            scalars[0].kind, np.concatenate([c.values for c in scalars])
+        )
+    if kinds == {StringColumn}:
+        return StringColumn(
+            np.concatenate(
+                [c.values for c in cols if isinstance(c, StringColumn)]
+            )
+        )
+    if kinds == {ArrayColumn}:
+        arrays = [c.data for c in cols if isinstance(c, ArrayColumn)]
+        shapes = {a.shape[1:] for a in arrays}
+        dtypes = {a.dtype for a in arrays}
+        if len(shapes) != 1 or len(dtypes) != 1:
+            return None
+        return ArrayColumn(np.concatenate(arrays))
+    if kinds == {TupleColumn}:
+        tuples = [c for c in cols if isinstance(c, TupleColumn)]
+        arities = {len(c.slots) for c in tuples}
+        if len(arities) != 1:
+            return None
+        total = sum(c.length for c in tuples)
+        arity = arities.pop()
+        if arity == 0:
+            return TupleColumn((), length=total)
+        slots: list[Column] = []
+        for s in range(arity):
+            merged = _concat_columns([c.slots[s] for c in tuples])
+            if merged is None:
+                return None
+            slots.append(merged)
+        return TupleColumn(tuple(slots), length=total)
+    if kinds == {ObjectColumn}:
+        return ObjectColumn(
+            [v for c in cols if isinstance(c, ObjectColumn) for v in c.values]
+        )
+    return None
+
+
+# -- grouping ----------------------------------------------------------------
+
+
+class GroupedBatch:
+    """Grouped-by-key records, behaving like ``list[(key, list[values])]``.
+
+    Built from a key-sorted batch plus group boundaries.  Scalar
+    consumers iterate it exactly like ``group_by_key``'s output;
+    vectorized consumers read ``sorted_values`` / ``starts`` / ``ends``
+    and never materialize per-row Python objects.
+    """
+
+    __slots__ = ("sorted_keys", "sorted_values", "starts", "ends", "_rows")
+
+    def __init__(
+        self, sorted_keys: Column, sorted_values: Column, starts: np.ndarray
+    ) -> None:
+        self.sorted_keys = sorted_keys
+        self.sorted_values = sorted_values
+        self.starts = starts
+        n = len(sorted_keys)
+        self.ends = np.append(starts[1:], n)
+        self._rows: list[Any] | None = None
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def unique_keys(self) -> Column:
+        """One key per group, in group order."""
+        return self.sorted_keys.take(self.starts)
+
+    def group_key(self, g: int) -> Any:
+        return self.sorted_keys.row(int(self.starts[g]))
+
+    def group_values(self, g: int) -> list[Any]:
+        if self._rows is None:
+            self._rows = self.sorted_values.rows()
+        return self._rows[int(self.starts[g]) : int(self.ends[g])]
+
+    def __getitem__(self, g: int) -> tuple[Any, list[Any]]:
+        return (self.group_key(g), self.group_values(g))
+
+    def __iter__(self) -> Iterator[tuple[Any, list[Any]]]:
+        for g in range(len(self.starts)):
+            yield self[g]
+
+
+def group_batch(batch: ColumnBatch) -> GroupedBatch | None:
+    """Vectorized ``group_by_key``; ``None`` when equivalence cannot be
+    guaranteed (object/NaN keys), in which case the caller must fall
+    back to the row implementation."""
+    order = batch.keys.sort_order()
+    if order is None:
+        return None
+    sorted_batch = batch.take(order)
+    starts = _group_starts(sorted_batch.keys)
+    if starts is None:
+        return None
+    return GroupedBatch(sorted_batch.keys, sorted_batch.values, starts)
+
+
+def _group_starts(sorted_keys: Column) -> np.ndarray | None:
+    n = len(sorted_keys)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if isinstance(sorted_keys, (ScalarColumn, StringColumn)):
+        changed = sorted_keys.values[1:] != sorted_keys.values[:-1]
+    elif isinstance(sorted_keys, TupleColumn):
+        if not sorted_keys.slots:
+            changed = np.zeros(n - 1, dtype=bool)
+        else:
+            changed = np.zeros(n - 1, dtype=bool)
+            for slot in sorted_keys.slots:
+                slot_starts = _group_starts_values(slot)
+                if slot_starts is None:
+                    return None
+                changed |= slot_starts
+    else:
+        return None
+    return np.flatnonzero(np.concatenate(([True], changed))).astype(np.int64)
+
+
+def _group_starts_values(slot: Column) -> np.ndarray | None:
+    if isinstance(slot, (ScalarColumn, StringColumn)):
+        return np.asarray(slot.values[1:] != slot.values[:-1])
+    return None
+
+
+def singleton_groups(batch: ColumnBatch) -> GroupedBatch:
+    """View a combined batch (one row per key) as single-value groups.
+
+    This is the grouped shape a reducer sees after a combiner ran: the
+    same keys in the same order, each with a one-element value list.
+    """
+    return GroupedBatch(
+        batch.keys, batch.values, np.arange(len(batch), dtype=np.int64)
+    )
+
+
+def group_records(
+    output: ColumnBatch | list[tuple[Any, Any]],
+) -> GroupedBatch | list[tuple[Any, list[Any]]]:
+    """Group map output by key: vectorized for batches, rows otherwise."""
+    batch = as_column_batch(output)
+    if batch is not None:
+        grouped = group_batch(batch)
+        if grouped is not None:
+            return grouped
+        output = batch.to_rows()
+    assert isinstance(output, list)
+    return group_by_key(output)
+
+
+def emit_first_values(ctx: Any, grouped: Sequence[tuple[Any, list[Any]]]) -> None:
+    """Identity reduce — emit each group's first value.
+
+    The vectorized path (one ``take`` per column) and the scalar loop
+    produce identical rows; shared by the smoothing, linear-solver, and
+    PageRank-propagate reducers.
+    """
+    if isinstance(grouped, GroupedBatch):
+        ctx.emit_batch(
+            ColumnBatch(
+                grouped.unique_keys(),
+                grouped.sorted_values.take(grouped.starts),
+            )
+        )
+        return
+    for key, values in grouped:
+        ctx.emit(key, values[0])

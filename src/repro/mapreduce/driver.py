@@ -183,6 +183,7 @@ def _strip_overheads(spec: JobSpec) -> JobSpec:
         reducer=spec.reducer,
         batch_reducer=spec.batch_reducer,
         combiner=spec.combiner,
+        batch_combiner=spec.batch_combiner,
         num_reducers=spec.num_reducers,
         partitioner=spec.partitioner,
         costs=costs,

@@ -11,15 +11,20 @@ from repro.mapreduce.records import hash_partitioner
 
 # Signatures (all emission goes through the context):
 #   mapper(ctx, key, value)                 — record-at-a-time
-#   batch_mapper(ctx, records)              — whole split (vectorizable)
+#   batch_mapper(ctx, records)              — whole split (vectorizable);
+#                                             records may be a ColumnBatch
 #   combiner(key, values) -> value          — associative local reduction
+#   batch_combiner(grouped) -> ColumnBatch  — whole-bucket combiner over a
+#                                             GroupedBatch (or None to
+#                                             defer to the scalar combiner)
 #   reducer(ctx, key, values)               — record-at-a-time
 #   batch_reducer(ctx, grouped)             — all groups of one partition
 Mapper = Callable[["TaskContext", Any, Any], None]
 BatchMapper = Callable[["TaskContext", Sequence[tuple[Any, Any]]], None]
 Combiner = Callable[[Any, list[Any]], Any]
+BatchCombiner = Callable[[Any], Any]
 Reducer = Callable[["TaskContext", Any, list[Any]], None]
-BatchReducer = Callable[["TaskContext", list[tuple[Any, list[Any]]]], None]
+BatchReducer = Callable[["TaskContext", Sequence[tuple[Any, list[Any]]]], None]
 
 
 class TaskContext:
@@ -29,26 +34,64 @@ class TaskContext:
     (``None`` in reducers).  ``stats`` is a scratch dict tasks may fill
     with numeric facts (e.g. PIC's in-mapper local iteration counts);
     the runner surfaces them in :class:`JobResult`.
+
+    Output accumulates as ordered *segments*: scalar ``emit`` calls
+    append to a row segment, ``emit_batch`` appends a whole
+    :class:`~repro.mapreduce.columnar.ColumnBatch`.  ``collect``
+    preserves the batch form when the task emitted exactly one shape,
+    so the runner's vectorized shuffle sees columns, not tuples.
     """
 
     def __init__(self, model: Any = None, split_index: int | None = None) -> None:
         self.model = model
         self.split_index = split_index
         self.stats: dict[str, float] = {}
-        self._output: list[tuple[Any, Any]] = []
+        self._segments: list[Any] = []
 
     def emit(self, key: Any, value: Any) -> None:
         """Emit one key/value record."""
-        self._output.append((key, value))
+        if self._segments and isinstance(self._segments[-1], list):
+            self._segments[-1].append((key, value))
+        else:
+            self._segments.append([(key, value)])
 
     def emit_all(self, records: Sequence[tuple[Any, Any]]) -> None:
         """Emit a batch of records at once (precomputed task outputs)."""
-        self._output.extend(records)
+        from repro.mapreduce.columnar import ColumnBatch
+
+        if isinstance(records, ColumnBatch):
+            self.emit_batch(records)
+        elif self._segments and isinstance(self._segments[-1], list):
+            self._segments[-1].extend(records)
+        else:
+            self._segments.append(list(records))
+
+    def emit_batch(self, batch: Any) -> None:
+        """Emit a whole columnar batch (vectorized mappers/reducers)."""
+        self._segments.append(batch)
+
+    @property
+    def output_count(self) -> int:
+        """Number of records emitted so far (no materialization)."""
+        return sum(len(seg) for seg in self._segments)
+
+    def collect(self) -> Any:
+        """The emitted output: a single ``ColumnBatch`` when the task
+        emitted exactly one batch and nothing else, rows otherwise."""
+        if len(self._segments) == 1 and not isinstance(self._segments[0], list):
+            return self._segments[0]
+        return self.output
 
     @property
     def output(self) -> list[tuple[Any, Any]]:
-        """Records emitted so far, in emission order."""
-        return self._output
+        """Records emitted so far, in emission order, as rows."""
+        out: list[tuple[Any, Any]] = []
+        for seg in self._segments:
+            if isinstance(seg, list):
+                out.extend(seg)
+            else:
+                out.extend(seg.to_rows())
+        return out
 
 
 class Counters:
@@ -89,6 +132,10 @@ class JobSpec:
     reducer: Reducer | None = None
     batch_reducer: BatchReducer | None = None
     combiner: Combiner | None = None
+    # Optional vectorized form of ``combiner``: takes a GroupedBatch and
+    # returns a combined ColumnBatch, or None to fall back per-group.
+    # Must agree with ``combiner`` bit-for-bit (equivalence-tested).
+    batch_combiner: BatchCombiner | None = None
     num_reducers: int = 1
     partitioner: Callable[[Any, int], int] = hash_partitioner
     costs: CostHints = field(default_factory=CostHints)
@@ -109,6 +156,11 @@ class JobSpec:
             raise ValueError(
                 f"job {self.name!r}: specify exactly one of reducer/batch_reducer"
             )
+        if self.batch_combiner is not None and self.combiner is None:
+            raise ValueError(
+                f"job {self.name!r}: batch_combiner requires a scalar "
+                "combiner (the row path and fallbacks run it)"
+            )
         if self.num_reducers <= 0:
             raise ValueError(
                 f"job {self.name!r}: num_reducers must be positive, got {self.num_reducers}"
@@ -128,7 +180,7 @@ class JobSpec:
                 self.mapper(ctx, key, value)
 
     def run_reducer(
-        self, ctx: TaskContext, grouped: list[tuple[Any, list[Any]]]
+        self, ctx: TaskContext, grouped: Sequence[tuple[Any, list[Any]]]
     ) -> None:
         """Invoke whichever reducer form the job defines."""
         if self.batch_reducer is not None:

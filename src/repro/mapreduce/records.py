@@ -15,7 +15,13 @@ def stable_hash(key: Any) -> int:
     if isinstance(key, bool):
         data = b"b1" if key else b"b0"
     elif isinstance(key, int):
-        data = b"i" + key.to_bytes(16, "little", signed=True)
+        try:
+            data = b"i" + key.to_bytes(16, "little", signed=True)
+        except OverflowError:
+            # Beyond 128 bits: minimal signed width (always > 16 bytes,
+            # so these never collide with the fixed-width form above).
+            width = key.bit_length() // 8 + 1
+            data = b"i" + key.to_bytes(width, "little", signed=True)
     elif isinstance(key, float):
         data = b"f" + repr(key).encode()
     elif isinstance(key, str):
@@ -61,9 +67,31 @@ def group_by_key(records: Iterable[tuple[Any, Any]]) -> list[tuple[Any, list[Any
     return items
 
 
+def _as_split_records(chunk: Sequence[tuple[Any, Any]], columnar: bool | None) -> Any:
+    """Rows or a ``ColumnBatch``, per the ``columnar`` flag / environment.
+
+    The import is deferred: :mod:`repro.mapreduce.columnar` builds on the
+    scalar hash and grouping defined here.
+    """
+    from repro.mapreduce.columnar import ColumnBatch, columnar_enabled
+
+    if isinstance(chunk, ColumnBatch):
+        return chunk
+    if columnar is None:
+        columnar = columnar_enabled()
+    if columnar:
+        return ColumnBatch.from_rows(list(chunk))
+    return list(chunk)
+
+
 @dataclass
 class Split:
-    """One input split: a list of records plus its serialized size.
+    """One input split: its records plus their serialized size.
+
+    ``records`` is either a plain list of ``(key, value)`` tuples or a
+    :class:`~repro.mapreduce.columnar.ColumnBatch` — both iterate as
+    rows, report ``len``, and size identically, so consumers that do not
+    opt into the columnar fast paths never notice the difference.
 
     ``nbytes`` defaults to the measured serialized size of the records
     but can be overridden when the dataset models a larger on-disk
@@ -71,7 +99,7 @@ class Split:
     """
 
     index: int
-    records: list[tuple[Any, Any]]
+    records: Any
     nbytes: int = field(default=-1)
 
     def __post_init__(self) -> None:
@@ -107,8 +135,14 @@ class DistributedDataset:
         writer_node: int = 0,
         split_fn: Callable[[Sequence[tuple[Any, Any]], int], list[list[tuple[Any, Any]]]]
         | None = None,
+        columnar: bool | None = None,
     ) -> "DistributedDataset":
-        """Split ``records`` evenly and register them with the DFS."""
+        """Split ``records`` evenly and register them with the DFS.
+
+        ``columnar`` converts each split to a ``ColumnBatch`` (default:
+        the ``PIC_COLUMNAR`` environment setting); conversion is
+        lossless, so simulated results are identical either way.
+        """
         if num_splits <= 0:
             raise ValueError(f"num_splits must be positive, got {num_splits}")
         num_splits = min(num_splits, max(1, len(records)))
@@ -116,7 +150,10 @@ class DistributedDataset:
             chunks = cls._even_chunks(records, num_splits)
         else:
             chunks = split_fn(records, num_splits)
-        splits = [Split(index=i, records=list(chunk)) for i, chunk in enumerate(chunks)]
+        splits = [
+            Split(index=i, records=_as_split_records(chunk, columnar))
+            for i, chunk in enumerate(chunks)
+        ]
         dataset = cls(path, splits, dfs)
         dataset._register_blocks(writer_node)
         return dataset
@@ -130,6 +167,7 @@ class DistributedDataset:
         placements: Sequence[int],
         replication: int = 1,
         sizes: Sequence[int] | None = None,
+        columnar: bool | None = None,
     ) -> "DistributedDataset":
         """Build a dataset with one split per given partition, each
         pinned to a chosen node (PIC's co-located sub-problem data).
@@ -149,7 +187,7 @@ class DistributedDataset:
         splits = [
             Split(
                 index=i,
-                records=list(p),
+                records=_as_split_records(p, columnar),
                 nbytes=sizes[i] if sizes is not None else -1,
             )
             for i, p in enumerate(partitions)

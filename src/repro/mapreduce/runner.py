@@ -25,11 +25,23 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import TrafficCategory
 from repro.dfs.dfs import DistributedFileSystem, FileMeta
+from repro.mapreduce.columnar import (
+    ColumnBatch,
+    GroupedBatch,
+    concat_batches,
+    group_batch,
+)
 from repro.mapreduce.job import Counters, JobResult, JobSpec, TaskContext
-from repro.mapreduce.records import DistributedDataset, group_by_key
+from repro.mapreduce.records import (
+    DistributedDataset,
+    group_by_key,
+    hash_partitioner,
+)
 from repro.mapreduce.scheduler import SlotScheduler
 # Leaf-module import: repro.parallel's package __init__ pulls in
 # repro.parallel.tasks, which needs this package — importing the
@@ -191,7 +203,7 @@ class _JobState:
         self.shuffle_bytes = 0
         self.output_bytes = 0
         self._job_map_stats: dict[int, dict[str, float]] = {}
-        self._premapped: list[tuple[list, dict]] | None = None
+        self._premapped: list[tuple[Any, dict]] | None = None
         self._done = False
 
     # -- launch ----------------------------------------------------------
@@ -202,7 +214,7 @@ class _JobState:
         overhead = self.spec.costs.job_overhead_seconds
         self.cluster.sim.schedule(overhead, self._start_maps)
 
-    def _precompute_maps(self) -> list[tuple[list, dict]] | None:
+    def _precompute_maps(self) -> list[tuple[Any, dict]] | None:
         """Run every map task's real computation through the executor.
 
         Map tasks of one job are independent, so with a parallel
@@ -366,15 +378,41 @@ class _JobState:
             compute = self.spec.costs.map_compute(len(split.records), split.nbytes)
             # Map-side sort/serialize of the raw output (pre-combine),
             # as Hadoop's collect/spill path charges per record.
-            compute += self.spec.costs.sort_seconds_per_record * len(ctx.output)
+            compute += self.spec.costs.sort_seconds_per_record * ctx.output_count
         delay = self.cluster.compute_time(node_id, compute)
         self._schedule_attempt(
             attempt, delay, lambda: self._map_execute(attempt, ctx)
         )
 
     def _map_execute(self, attempt: dict, ctx: TaskContext) -> None:
-        raw_output = ctx.output
-        buckets: dict[int, list[tuple[Any, Any]]] = {}
+        output = ctx.collect()
+        partitioned = None
+        if isinstance(output, ColumnBatch):
+            partitioned = self._partition_columnar(output)
+            if partitioned is None:
+                output = output.to_rows()
+        if partitioned is not None:
+            buckets, bucket_bytes, raw_records, raw_bytes = partitioned
+        else:
+            assert isinstance(output, list)
+            buckets, bucket_bytes, raw_bytes = self._partition_rows(output)
+            raw_records = len(output)
+        post_bytes = sum(bucket_bytes.values())
+        # Spill the (combined) map output to local disk before serving it.
+        disk = self.cluster.nodes[attempt["node"]].spec.disk_bandwidth
+        self._schedule_attempt(
+            attempt,
+            post_bytes / disk,
+            lambda: self._map_finish(
+                attempt, buckets, bucket_bytes, raw_records, raw_bytes
+            ),
+        )
+
+    def _partition_rows(
+        self, raw_output: list[tuple[Any, Any]]
+    ) -> tuple[dict[int, Any], dict[int, int], int]:
+        """The reference tuple-at-a-time partition/combine path."""
+        buckets: dict[int, Any] = {}
         for key, value in raw_output:
             p = self.spec.partitioner(key, self.num_reducers)
             buckets.setdefault(p, []).append((key, value))
@@ -391,16 +429,56 @@ class _JobState:
             # re-partitioned, so one sizing pass covers both totals.
             bucket_bytes = {p: sizeof_records(r) for p, r in buckets.items()}
             raw_bytes = sum(bucket_bytes.values())
-        post_bytes = sum(bucket_bytes.values())
-        # Spill the (combined) map output to local disk before serving it.
-        disk = self.cluster.nodes[attempt["node"]].spec.disk_bandwidth
-        self._schedule_attempt(
-            attempt,
-            post_bytes / disk,
-            lambda: self._map_finish(
-                attempt, buckets, bucket_bytes, len(raw_output), raw_bytes
-            ),
-        )
+        return buckets, bucket_bytes, raw_bytes
+
+    def _partition_columnar(
+        self, batch: ColumnBatch
+    ) -> tuple[dict[int, Any], dict[int, int], int, int] | None:
+        """Vectorized partition/combine: batched ``stable_hash``, bucket
+        scatter via one stable argsort, per-column sizing.
+
+        Returns ``None`` when the job uses a custom partitioner or the
+        key layout defeats vectorized grouping — the caller then takes
+        the row path, which is always available and byte-identical.
+        """
+        if self.spec.partitioner is not hash_partitioner:
+            return None
+        pids = batch.partition_ids(self.num_reducers)
+        order = np.argsort(pids, kind="stable")
+        sorted_batch = batch.take(order)
+        counts = np.bincount(pids, minlength=self.num_reducers)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        raw_bytes = batch.nbytes_wire()
+        use_combiner = self.spec.combiner is not None
+        buckets: dict[int, Any] = {}
+        bucket_bytes: dict[int, int] = {}
+        for p in range(self.num_reducers):
+            lo, hi = int(bounds[p]), int(bounds[p + 1])
+            if lo == hi:
+                continue
+            sub = sorted_batch.slice(lo, hi)
+            if use_combiner:
+                grouped = group_batch(sub)
+                if grouped is None:
+                    return None
+                combined = self._apply_combiner(grouped)
+                buckets[p] = combined
+                bucket_bytes[p] = sizeof_records(combined)
+            else:
+                buckets[p] = sub
+                bucket_bytes[p] = sub.nbytes_wire()
+        return buckets, bucket_bytes, len(batch), raw_bytes
+
+    def _apply_combiner(self, grouped: GroupedBatch) -> Any:
+        """Combine one bucket's groups: the batch combiner when the job
+        provides one (and it accepts the layout), else the scalar
+        combiner per group — identical results either way."""
+        if self.spec.batch_combiner is not None:
+            combined = self.spec.batch_combiner(grouped)
+            if combined is not None:
+                return combined
+        assert self.spec.combiner is not None
+        return [(k, self.spec.combiner(k, vs)) for k, vs in grouped]
 
     def _map_attempt_failed(self, attempt: dict) -> None:
         split_index = attempt["split"]
@@ -484,7 +562,7 @@ class _JobState:
                 )
 
     def _make_bucket_arrival(
-        self, partition: int, recs: list[tuple[Any, Any]]
+        self, partition: int, recs: Any
     ) -> Callable[..., None]:
         def on_arrival(_flow: Any = None) -> None:
             self._buckets[partition].append(recs)
@@ -506,25 +584,51 @@ class _JobState:
                 self._reduce_waiting.append(partition)
             return
         self._reduce_started[partition] = True
-        records = [r for bucket in self._buckets[partition] for r in bucket]
-        compute = self.spec.costs.reduce_compute(len(records))
+        pieces = self._buckets[partition]
+        num_records = sum(len(piece) for piece in pieces)
+        compute = self.spec.costs.reduce_compute(num_records)
         compute += self.spec.costs.task_overhead_seconds
         delay = self.cluster.compute_time(node, compute)
         self.cluster.sim.schedule(
-            delay, lambda: self._reduce_execute(partition, node, records)
+            delay, lambda: self._reduce_execute(partition, node, pieces)
         )
 
+    def _group_reduce_input(
+        self, pieces: list[Any]
+    ) -> GroupedBatch | list[tuple[Any, list[Any]]]:
+        """Merge-sort of the arrived buckets: one concatenate plus one
+        stable argsort when every non-empty bucket is columnar, the
+        row-path ``group_by_key`` otherwise (same groups, same order)."""
+        row_pieces = [p for p in pieces if isinstance(p, list) and p]
+        batches = [p for p in pieces if isinstance(p, ColumnBatch)]
+        if batches and not row_pieces:
+            merged = concat_batches(batches)
+            if merged is not None:
+                grouped = group_batch(merged)
+                if grouped is not None:
+                    return grouped
+        rows: list[tuple[Any, Any]] = []
+        for piece in pieces:
+            rows.extend(piece.to_rows() if isinstance(piece, ColumnBatch) else piece)
+        return group_by_key(rows)
+
     def _reduce_execute(
-        self, partition: int, node_id: int, records: list[tuple[Any, Any]]
+        self, partition: int, node_id: int, pieces: list[Any]
     ) -> None:
         ctx = TaskContext(model=self.model)
-        grouped = group_by_key(records)
+        num_records = sum(len(piece) for piece in pieces)
+        grouped = self._group_reduce_input(pieces)
         self.spec.run_reducer(ctx, grouped)
-        output = ctx.output
+        collected = ctx.collect()
+        output = (
+            collected.to_rows()
+            if isinstance(collected, ColumnBatch)
+            else collected
+        )
         self._reduce_outputs[partition] = output
-        self.counters.add("reduce_input_records", len(records))
+        self.counters.add("reduce_input_records", num_records)
         self.counters.add("reduce_output_records", len(output))
-        nbytes = sizeof_records(output)
+        nbytes = sizeof_records(collected)
         self.output_bytes += nbytes
         path = f"/job-{self.job_index}/{self.spec.name}/out-{partition:05d}"
         self.runner.dfs.write(

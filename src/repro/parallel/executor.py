@@ -36,6 +36,9 @@ WORKERS_ENV_VAR = "PIC_WORKERS"
 # generators raise TypeError.  Any of them means "run it in-process".
 _FALLBACK_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
 
+# Picklability verdicts per function identity (see ``_picklable``).
+_PROBE_CACHE: dict[tuple[int, str, str], bool] = {}
+
 
 def resolve_workers(workers: int | None = None) -> int:
     """Resolve a worker count: explicit value, else ``PIC_WORKERS``, else 1."""
@@ -110,24 +113,54 @@ class ProcessPoolTaskExecutor(TaskExecutor):
     def map_or_none(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> list[Any] | None:
+        from repro.parallel.shm import release_batches, swap_out_batches
+
         payloads = list(payloads)
-        if len(payloads) < 2 or not self._picklable(fn, payloads[0]):
+        if len(payloads) < 2:
             return None
+        # Columnar record batches ride to the workers through shared
+        # memory, not the pool's pickle pipe; handles pickle in O(1).
+        payloads, exported = swap_out_batches(payloads)
         try:
-            pool = _shared_pool(self.workers)
-            return list(pool.map(fn, payloads))
-        except _FALLBACK_ERRORS:
-            return None
-        except BrokenExecutor:
-            _discard_pool(self.workers)
-            return None
+            if not self._picklable(fn, payloads[0]):
+                return None
+            try:
+                pool = _shared_pool(self.workers)
+                return list(pool.map(fn, payloads))
+            except _FALLBACK_ERRORS:
+                return None
+            except BrokenExecutor:
+                _discard_pool(self.workers)
+                return None
+        finally:
+            release_batches(exported)
 
     @staticmethod
     def _picklable(fn: Callable[[Any], Any], probe: Any) -> bool:
+        """Can ``(fn, probe)`` cross a process boundary?
+
+        The verdict for ``fn`` is cached per function identity: the same
+        job/program callables are probed once per process, not once per
+        map wave.  The payload probe only runs on a cache miss — a
+        later payload that cannot pickle surfaces at ``pool.map`` and
+        falls back in-process there, so skipping it is safe.  A failure
+        caused by the payload alone is deliberately *not* cached: the
+        function may well work with the next job's payloads.
+        """
+        key = (id(fn), getattr(fn, "__module__", ""), getattr(fn, "__qualname__", ""))
+        cached = _PROBE_CACHE.get(key)
+        if cached is not None:
+            return cached
         try:
-            pickle.dumps((fn, probe))
+            pickle.dumps(fn)
+        except _FALLBACK_ERRORS:
+            _PROBE_CACHE[key] = False
+            return False
+        try:
+            pickle.dumps(probe)
         except _FALLBACK_ERRORS:
             return False
+        _PROBE_CACHE[key] = True
         return True
 
 

@@ -1,0 +1,191 @@
+"""Zero-copy hand-off of columnar batches to pool workers.
+
+Shipping a big :class:`~repro.mapreduce.columnar.ColumnBatch` to a
+worker through the pool's pipe costs two full copies (pickle write,
+pickle read) plus the pickling itself.  This module instead exports the
+batch's backing numpy arrays into one POSIX shared-memory block and
+replaces the batch in the payload with a tiny picklable handle; the
+worker reconstructs the batch straight out of the mapping.
+
+Mechanics: the batch is pickled once with protocol 5, which hands the
+raw array buffers out-of-band instead of embedding them — what remains
+is a small skeleton describing column structure.  The buffers go into
+the shared block; the handle carries the skeleton, the block name, and
+the (offset, size) of each buffer.  On the worker the handle unpickles
+*directly* into a ``ColumnBatch``: it attaches to the block, copies each
+segment into worker-local memory (a single writable ``bytearray`` per
+array — no pickling, no pipe), and feeds them back to ``pickle.loads``
+as protocol-5 buffers.
+
+Lifecycle: the submitting side owns the block and unlinks it after the
+pool map completes (success or not); workers attach, copy, and close
+inside the unpickle, so they never hold a mapping afterwards and the
+copy makes the rebuilt batch's lifetime independent of the block's.
+Export is gated by ``PIC_SHM`` (default on) and silently falls back to
+plain pickling when shared memory is unavailable (``OSError``) or the
+batch is too small to be worth a block.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from multiprocessing import shared_memory
+from typing import Any, Sequence
+
+SHM_ENV_VAR = "PIC_SHM"
+
+# Below this many payload bytes the two pipe copies are cheaper than a
+# shared-memory block's create/attach/unlink syscalls.
+MIN_SHM_BYTES = 64 * 1024
+
+
+def shm_enabled() -> bool:
+    """Shared-memory hand-off toggle (``PIC_SHM``, default on)."""
+    raw = os.environ.get(SHM_ENV_VAR, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without taking ownership.
+
+    Python 3.13+ exposes ``track=False`` for exactly this.  On earlier
+    versions attaching re-registers the name with the resource tracker;
+    that is harmless — pool workers share the parent's tracker process,
+    whose cache is a *set*, so the extra registrations are idempotent
+    and the submitter's single ``unlink`` balances them.  Unregistering
+    here instead would double up with the unlink and make the tracker
+    print ``KeyError`` noise.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def _load_shm_batch(
+    name: str, skeleton: bytes, segments: list[tuple[int, int]]
+) -> Any:
+    """Worker-side rebuild: attach, copy the buffers out, close, load."""
+    shm = _attach(name)
+    try:
+        buffers = [
+            bytearray(shm.buf[offset : offset + size])
+            for offset, size in segments
+        ]
+    finally:
+        shm.close()
+    return pickle.loads(skeleton, buffers=buffers)
+
+
+class ShmBatch:
+    """Parent-side handle to a batch exported into shared memory.
+
+    Pickling the handle is cheap (skeleton + block name); *unpickling*
+    it yields the reconstructed ``ColumnBatch`` itself, so payloads that
+    went through :func:`swap_out_batches` arrive at the task function
+    exactly as if the batch had been pickled whole.
+    """
+
+    __slots__ = ("skeleton", "segments", "_shm")
+
+    def __init__(
+        self,
+        skeleton: bytes,
+        segments: list[tuple[int, int]],
+        shm: shared_memory.SharedMemory,
+    ) -> None:
+        self.skeleton = skeleton
+        self.segments = segments
+        self._shm = shm
+
+    def __reduce__(self) -> tuple[Any, tuple[Any, ...]]:
+        return (_load_shm_batch, (self._shm.name, self.skeleton, self.segments))
+
+    def release(self) -> None:
+        """Close and unlink the backing block (submitter-side cleanup)."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def export_batch(batch: Any) -> ShmBatch | None:
+    """Export one batch to a shared block, or ``None`` when not worth it.
+
+    ``None`` means "pickle it normally": the batch is small, carries
+    non-buffer columns only, or the system refused a block.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    try:
+        skeleton = pickle.dumps(batch, protocol=5, buffer_callback=buffers.append)
+    except Exception:
+        return None
+    try:
+        views = [buf.raw() for buf in buffers]
+    except BufferError:
+        return None
+    total = sum(view.nbytes for view in views)
+    if total < MIN_SHM_BYTES:
+        return None
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=total)
+    except OSError:
+        return None
+    segments: list[tuple[int, int]] = []
+    offset = 0
+    for view in views:
+        flat = view.cast("B")
+        shm.buf[offset : offset + flat.nbytes] = flat
+        segments.append((offset, flat.nbytes))
+        offset += flat.nbytes
+    return ShmBatch(skeleton, segments, shm)
+
+
+def swap_out_batches(
+    payloads: Sequence[Any],
+) -> tuple[list[Any], list[ShmBatch]]:
+    """Replace columnar batches inside payload tuples with shm handles.
+
+    Returns the rewritten payloads plus the handles to release once the
+    pool map has consumed them.  Payloads are scanned one tuple level
+    deep — exactly where the task functions carry their record batches.
+    When ``PIC_SHM`` is off (or nothing qualifies) the originals come
+    back untouched.
+    """
+    if not shm_enabled():
+        return list(payloads), []
+    from repro.mapreduce.columnar import ColumnBatch
+
+    exported: list[ShmBatch] = []
+    cache: dict[int, ShmBatch | None] = {}
+    swapped: list[Any] = []
+    for payload in payloads:
+        if isinstance(payload, tuple) and any(
+            isinstance(item, ColumnBatch) for item in payload
+        ):
+            items: list[Any] = []
+            for item in payload:
+                if isinstance(item, ColumnBatch):
+                    # Identical batches (e.g. a shared dataset) export once.
+                    handle = cache.get(id(item))
+                    if id(item) not in cache:
+                        handle = export_batch(item)
+                        cache[id(item)] = handle
+                        if handle is not None:
+                            exported.append(handle)
+                    if handle is not None:
+                        items.append(handle)
+                        continue
+                items.append(item)
+            swapped.append(tuple(items))
+        else:
+            swapped.append(payload)
+    return swapped, exported
+
+
+def release_batches(exported: Sequence[ShmBatch]) -> None:
+    """Unlink every exported block (call in a ``finally``)."""
+    for handle in exported:
+        handle.release()

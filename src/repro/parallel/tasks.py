@@ -28,14 +28,15 @@ def solve_subproblem(
 
 def run_map_task(
     payload: tuple[Any, Any, int, Sequence[tuple[Any, Any]]],
-) -> tuple[list[tuple[Any, Any]], dict[str, float]]:
+) -> tuple[Any, dict[str, float]]:
     """Run one map task's real computation against a fresh context.
 
     Payload: ``(spec, model, split_index, records)``.  Returns the
-    emitted records and the task's stats dict; the job runner replays
-    both into the simulated task at its scheduled compute time.
+    emitted output (rows, or a ``ColumnBatch`` when the mapper emitted
+    exactly one) and the task's stats dict; the job runner replays both
+    into the simulated task at its scheduled compute time.
     """
     spec, model, split_index, records = payload
     ctx = TaskContext(model=model, split_index=split_index)
     spec.run_mapper(ctx, records)
-    return ctx.output, dict(ctx.stats)
+    return ctx.collect(), dict(ctx.stats)

@@ -12,13 +12,37 @@ from __future__ import annotations
 import abc
 from typing import Any, Sequence
 
+from repro.mapreduce.columnar import (
+    GroupedBatch,
+    group_records,
+    singleton_groups,
+)
 from repro.mapreduce.costs import CostHints
 from repro.mapreduce.job import JobSpec, TaskContext
-from repro.mapreduce.records import group_by_key
 from repro.pic.mergers import average_merge
 from repro.pic.model import model_nbytes, model_to_records, records_to_model
 from repro.pic.partitioners import random_partition, replicate_model
 from repro.util.rng import as_generator
+
+
+def _combine_grouped(
+    spec: JobSpec, grouped: GroupedBatch | list[tuple[Any, list[Any]]]
+) -> GroupedBatch | list[tuple[Any, list[Any]]]:
+    """Apply the job's combiner to grouped map output, preserving the
+    grouped shape (each key keeps a one-element value list).
+
+    The vectorized ``batch_combiner`` runs when the groups are columnar
+    and it accepts them; otherwise the scalar combiner runs per group.
+    Both produce the same keys in the same order with bit-identical
+    values (equivalence-tested), so downstream reducers cannot tell the
+    paths apart.
+    """
+    assert spec.combiner is not None
+    if spec.batch_combiner is not None and isinstance(grouped, GroupedBatch):
+        combined = spec.batch_combiner(grouped)
+        if combined is not None:
+            return singleton_groups(combined)
+    return [(k, [spec.combiner(k, vs)]) for k, vs in grouped]
 
 
 class PICProgram(abc.ABC):
@@ -78,6 +102,18 @@ class PICProgram(abc.ABC):
         """
         raise NotImplementedError("no combiner defined")
 
+    def combine_batch(self, grouped: Any) -> Any:
+        """Optional vectorized combiner over a whole bucket.
+
+        Receives a :class:`~repro.mapreduce.columnar.GroupedBatch` and
+        returns a combined :class:`~repro.mapreduce.columnar.ColumnBatch`
+        (one row per key, in group order), or ``None`` to defer to the
+        scalar :meth:`combine` for that bucket.  Must agree with
+        :meth:`combine` bit for bit; only used when ``combine`` is also
+        overridden.
+        """
+        raise NotImplementedError("no batch combiner defined")
+
     @abc.abstractmethod
     def build_model(self, model: Any, output: list[tuple[Any, Any]]) -> Any:
         """Fold one iteration's reduce output into the next model."""
@@ -123,13 +159,13 @@ class PICProgram(abc.ABC):
         for spec in self.jobs(current, iteration):
             ctx = TaskContext(model=current)
             spec.run_mapper(ctx, records)
-            out = ctx.output
+            out = ctx.collect()
             # In memory there is no record pipeline: no deserialization,
             # sort, spill, or shuffle — just the computation itself.
             compute += spec.costs.inmemory_compute(len(records))
-            grouped = group_by_key(out)
+            grouped = group_records(out)
             if spec.combiner is not None:
-                grouped = [(k, [spec.combiner(k, vs)]) for k, vs in grouped]
+                grouped = _combine_grouped(spec, grouped)
             rctx = TaskContext(model=current)
             spec.run_reducer(rctx, grouped)
             current = self.build_model(current, rctx.output)
@@ -175,6 +211,9 @@ class PICProgram(abc.ABC):
     def job_spec(self, suffix: str = "") -> JobSpec:
         """Build a :class:`JobSpec` from this program's map/reduce."""
         has_combiner = type(self).combine is not PICProgram.combine
+        has_batch_combiner = has_combiner and (
+            type(self).combine_batch is not PICProgram.combine_batch
+        )
         uses_batch_map = type(self).batch_map is not PICProgram.batch_map
         uses_batch_reduce = type(self).batch_reduce is not PICProgram.batch_reduce
         return JobSpec(
@@ -184,6 +223,7 @@ class PICProgram(abc.ABC):
             reducer=None if uses_batch_reduce else self.reduce,
             batch_reducer=self.batch_reduce if uses_batch_reduce else None,
             combiner=self.combine if has_combiner else None,
+            batch_combiner=self.combine_batch if has_batch_combiner else None,
             num_reducers=self.num_reducers,
             costs=self.costs,
         )

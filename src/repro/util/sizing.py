@@ -24,9 +24,16 @@ from typing import Any, Iterable
 
 import numpy as np
 
-_ARRAY_HEADER = 8
-_SEQ_HEADER = 4
-_STR_HEADER = 2
+# Public: the columnar backend computes per-column wire sizes from the
+# same rules, so the header constants are part of the sizing contract.
+ARRAY_HEADER = 8
+SEQ_HEADER = 4
+STR_HEADER = 2
+
+# Backwards-compatible aliases (older call sites use the underscored names).
+_ARRAY_HEADER = ARRAY_HEADER
+_SEQ_HEADER = SEQ_HEADER
+_STR_HEADER = STR_HEADER
 
 
 def sizeof_value(value: Any) -> int:
@@ -134,6 +141,11 @@ def sizeof_records(records: Iterable[tuple[Any, Any]]) -> int:
     a batched fast path that is equal, byte for byte, to the per-record
     reference sum.
     """
+    # Columnar batches size themselves per column (duck-typed rather
+    # than isinstance to keep this leaf module import-cycle free).
+    wire = getattr(records, "nbytes_wire", None)
+    if wire is not None:
+        return int(wire())
     if isinstance(records, list) and len(records) >= _FAST_PATH_MIN:
         fast = _sizeof_records_fast(records)
         if fast is not None:

@@ -1,0 +1,56 @@
+"""Row-vs-columnar bit-identity for all five applications.
+
+The contract of the columnar data plane mirrors ``repro.parallel``'s:
+``PIC_COLUMNAR`` changes host wall-clock only.  Running each app's full
+PIC pipeline under ``PIC_COLUMNAR=1`` and ``PIC_COLUMNAR=0`` must
+produce the same merged model, the same per-round best-effort stats,
+and the same traffic-meter snapshot — bit for bit, not approximately.
+
+The app factories are shared with the parallel-vs-serial equivalence
+suite; only the toggled environment variable differs.
+"""
+
+import copy
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.pic.runner import PICRunner
+from tests.parallel.test_equivalence import APPS, _deep_equal
+
+
+def _run_app(factory, monkeypatch, columnar_env: str):
+    monkeypatch.setenv("PIC_COLUMNAR", columnar_env)
+    program, records, model0 = factory()
+    cluster = Cluster(num_nodes=4, nodes_per_rack=4)
+    runner = PICRunner(
+        cluster,
+        program,
+        num_partitions=4,
+        seed=7,
+        be_max_iterations=3,
+        max_iterations=3,
+    )
+    result = runner.run(records, initial_model=copy.deepcopy(model0))
+    return result, cluster.meter.snapshot()
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_columnar_matches_rows_bit_for_bit(app, monkeypatch):
+    rows, rows_meter = _run_app(APPS[app], monkeypatch, "0")
+    cols, cols_meter = _run_app(APPS[app], monkeypatch, "1")
+
+    assert _deep_equal(rows.model, cols.model)
+    assert rows.total_time == cols.total_time
+
+    assert rows.best_effort.be_iterations == cols.best_effort.be_iterations
+    for r_stat, c_stat in zip(rows.best_effort.stats, cols.best_effort.stats):
+        assert r_stat == c_stat  # dataclass equality: every field, exactly
+
+    assert rows_meter == cols_meter
+
+    assert rows.topoff.iterations == cols.topoff.iterations
+    for r_trace, c_trace in zip(rows.topoff.traces, cols.topoff.traces):
+        assert r_trace.duration == c_trace.duration
+        assert r_trace.shuffle_bytes == c_trace.shuffle_bytes
+        assert r_trace.model_update_bytes == c_trace.model_update_bytes

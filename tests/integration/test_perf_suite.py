@@ -10,7 +10,8 @@ wallclock = pytest.importorskip("benchmarks.perf.wallclock")
 # fanout_classes=4 collapses most completion horizons by symmetry, so
 # the 64/256-node fan-outs exercise the batch path in a few events.
 TINY = dict(sizing_records=2_000, points=400, k=3, partitions=4,
-            job_records=800, e2e_points=400, fanout_classes=4, repeats=1)
+            job_records=800, e2e_points=400, fanout_classes=4,
+            bulk_points=400, shuffle_records=400, repeats=1)
 
 
 @pytest.fixture

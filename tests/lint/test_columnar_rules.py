@@ -1,0 +1,161 @@
+"""PIC304: ColumnBatch column views escaping or mutated in place.
+
+Seeded bugs must be flagged; the near-misses are exactly the idioms the
+real apps use (k-means emits a read-only view of the input point
+matrix; smoothing rebuilds fresh arrays before emitting) and must stay
+silent.
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def findings(source):
+    return [
+        (f.rule, f.line)
+        for f in lint_source(textwrap.dedent(source))
+        if f.rule.startswith("PIC3")
+    ]
+
+
+def rules(source):
+    return [rule for rule, _line in findings(source)]
+
+
+class TestPartitionColumnEscape:
+    def test_partition_returning_column_views_flagged(self):
+        src = """
+        from repro.mapreduce.columnar import ColumnBatch
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def partition(self, records, model, n):
+                return [(ColumnBatch(records.keys, records.values), dict(model))]
+        """
+        assert rules(src) == ["PIC304", "PIC304"]  # keys and values both leak
+
+    def test_partition_returning_one_column_flagged_once(self):
+        src = """
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def partition(self, records, model, n):
+                return [(records.values, dict(model)) for _ in range(n)]
+        """
+        assert rules(src) == ["PIC304"]
+
+    def test_finding_anchored_at_return_site(self):
+        src = """
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def partition(self, records, n):
+                parts = [records.keys]
+                return parts
+        """
+        [(rule, line)] = findings(src)
+        assert rule == "PIC304"
+        assert line == 7  # the return statement
+
+    def test_near_miss_non_column_attribute_silent(self):
+        # Escaping arbitrary attributes is not this rule's business;
+        # only the numpy-backed column slots of a batch are dangerous.
+        src = """
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def partition(self, records, model, n):
+                return [(records.metadata, dict(model))]
+        """
+        assert rules(src) == []
+
+    def test_near_miss_rebuilt_rows_silent(self):
+        src = """
+        from repro.mapreduce.columnar import ColumnBatch
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def partition(self, records, model, n):
+                rows = list(records)
+                return [
+                    (ColumnBatch.from_rows(rows[i::n]), dict(model))
+                    for i in range(n)
+                ]
+        """
+        assert rules(src) == []
+
+
+class TestCallbackColumnMutation:
+    def test_batch_map_filling_values_column_flagged(self):
+        src = """
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def batch_map(self, ctx, records):
+                records.values.fill(0.0)
+        """
+        assert rules(src) == ["PIC304"]
+
+    def test_batch_reduce_sorting_grouped_keys_flagged(self):
+        src = """
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def batch_reduce(self, ctx, grouped):
+                grouped.sorted_keys.sort()
+        """
+        assert rules(src) == ["PIC304"]
+
+    def test_combine_batch_mutating_starts_flagged(self):
+        src = """
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def combine_batch(self, grouped):
+                grouped.starts.fill(0)
+                return None
+        """
+        assert rules(src) == ["PIC304"]
+
+    def test_near_miss_emitting_read_only_view_silent(self):
+        # The k-means idiom: emit a batch aliasing the *unmodified*
+        # input columns.  Zero-copy reads are the whole point.
+        src = """
+        from repro.mapreduce.columnar import ArrayColumn, ColumnBatch
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def batch_map(self, ctx, records):
+                points = records.values.data
+                ctx.emit_batch(ColumnBatch(records.keys, ArrayColumn(points)))
+        """
+        assert rules(src) == []
+
+    def test_near_miss_writing_fresh_copy_silent(self):
+        src = """
+        import numpy as np
+
+        from repro.mapreduce.columnar import ArrayColumn, ColumnBatch
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def batch_map(self, ctx, records):
+                out = np.array(records.values.data)
+                out.fill(1.0)
+                ctx.emit_batch(ColumnBatch(records.keys, ArrayColumn(out)))
+        """
+        assert rules(src) == []
+
+    def test_combine_batch_record_mutation_also_pic303(self):
+        # clear() on the grouped object itself is generic record
+        # mutation (PIC303), not a column write.
+        src = """
+        from repro.pic.api import PICProgram
+
+        class P(PICProgram):
+            def combine_batch(self, grouped):
+                grouped.clear()
+                return None
+        """
+        assert rules(src) == ["PIC303"]

@@ -1,0 +1,305 @@
+"""Property tests for the columnar record-batch backend.
+
+The columnar data plane is only allowed to exist because it is
+*observationally identical* to the row path: same partition ids, same
+groups in the same order, same wire bytes, same rows back.  These
+properties are the contract, checked over adversarial key/value mixes
+(bool-vs-int, float repr edge cases, >int64 integers, non-ASCII text).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.columnar import (
+    ArrayColumn,
+    ColumnBatch,
+    GroupedBatch,
+    ObjectColumn,
+    ScalarColumn,
+    StringColumn,
+    TupleColumn,
+    build_column,
+    columnar_enabled,
+    concat_batches,
+    emit_first_values,
+    group_batch,
+    group_records,
+    singleton_groups,
+)
+from repro.mapreduce.job import TaskContext
+from repro.mapreduce.records import group_by_key, hash_partitioner, stable_hash
+from repro.util.sizing import sizeof_record, sizeof_records
+
+# -- strategies --------------------------------------------------------------
+
+ascii_text = st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=127), max_size=8
+)
+int64_ints = st.integers(-(2**63), 2**63 - 1)
+big_ints = st.integers(-(2**80), 2**80)
+finite_floats = st.floats(allow_nan=False)
+scalar_keys = st.one_of(
+    st.booleans(), int64_ints, finite_floats, ascii_text,
+    st.text(max_size=4),  # may contain non-ASCII → object fallback
+)
+hashable_keys = st.one_of(
+    scalar_keys,
+    st.tuples(int64_ints, ascii_text),
+    st.tuples(ascii_text, int64_ints, int64_ints),
+    big_ints,
+)
+plain_values = st.one_of(
+    st.booleans(), int64_ints, finite_floats, ascii_text, st.none()
+)
+
+
+def _assert_same_rows(actual, expected):
+    assert len(actual) == len(expected)
+    for (ka, va), (ke, ve) in zip(actual, expected):
+        assert type(ka) is type(ke) and ka == ke
+        if isinstance(ve, np.ndarray):
+            assert isinstance(va, np.ndarray)
+            assert np.array_equal(va, ve)
+        else:
+            assert type(va) is type(ve) and va == ve
+
+
+# -- partitioner equivalence -------------------------------------------------
+
+
+class TestHashEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(hashable_keys, min_size=1, max_size=32), st.integers(1, 16))
+    def test_partition_ids_match_scalar_hash(self, keys, n):
+        batch = ColumnBatch(build_column(keys), build_column([0] * len(keys)))
+        pids = batch.partition_ids(n)
+        assert pids.tolist() == [hash_partitioner(k, n) for k in keys]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(hashable_keys, min_size=1, max_size=32))
+    def test_column_hashes_match_scalar_hash(self, keys):
+        hashes = build_column(keys).stable_hashes()
+        assert hashes.tolist() == [stable_hash(k) for k in keys]
+
+    def test_vectorized_int_path_is_used_and_exact(self):
+        keys = [0, -1, 1, 2**62, -(2**62), 7, -7]
+        col = build_column(keys)
+        assert isinstance(col, ScalarColumn) and col.kind == "int"
+        assert col.stable_hashes().tolist() == [stable_hash(k) for k in keys]
+
+    def test_bool_keys_hash_differently_from_int_keys(self):
+        assert stable_hash(True) != stable_hash(1)
+        assert stable_hash(False) != stable_hash(0)
+        mixed = [True, 1, False, 0]
+        col = build_column(mixed)
+        assert isinstance(col, ObjectColumn)  # not silently widened to int
+        assert col.stable_hashes().tolist() == [stable_hash(k) for k in mixed]
+
+    def test_float_repr_edge_cases(self):
+        keys = [0.0, -0.0, 1e308, -1e308, 5e-324, float("inf"), float("-inf"), 0.1]
+        col = build_column(keys)
+        assert isinstance(col, ScalarColumn) and col.kind == "float"
+        assert col.stable_hashes().tolist() == [stable_hash(k) for k in keys]
+        # repr distinguishes signed zeros, so the wire hash does too —
+        # on both paths equally.
+        assert stable_hash(0.0) != stable_hash(-0.0)
+
+    def test_numpy_scalars_fall_back_losslessly(self):
+        keys = [np.float64(0.5), np.float64(1.5)]
+        col = build_column(keys)
+        assert isinstance(col, ObjectColumn)
+        assert col.rows() == keys
+        assert [type(v) for v in col.rows()] == [np.float64, np.float64]
+
+    def test_oversized_ints_fall_back_losslessly(self):
+        keys = [2**64, -(2**100), 3]
+        col = build_column(keys)
+        assert isinstance(col, ObjectColumn)
+        assert col.stable_hashes().tolist() == [stable_hash(k) for k in keys]
+
+    def test_tuple_keys_vectorize(self):
+        keys = [("e", 3, 1), ("e", 1, 2), ("e", 3, 1), ("e", -4, 0)]
+        col = build_column(keys)
+        assert isinstance(col, TupleColumn)
+        assert col.stable_hashes().tolist() == [stable_hash(k) for k in keys]
+
+
+# -- row/columnar round trip -------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(hashable_keys, plain_values), min_size=0, max_size=24
+        )
+    )
+    def test_to_rows_inverts_from_rows(self, rows):
+        _assert_same_rows(ColumnBatch.from_rows(rows).to_rows(), rows)
+
+    def test_ndarray_values_round_trip(self):
+        rows = [(i, np.arange(3, dtype=float) + i) for i in range(5)]
+        batch = ColumnBatch.from_rows(rows)
+        assert isinstance(batch.values, ArrayColumn)
+        _assert_same_rows(batch.to_rows(), rows)
+
+    def test_tuple_of_array_and_count_round_trips(self):
+        rows = [(i % 2, (np.ones(4) * i, 1)) for i in range(6)]
+        batch = ColumnBatch.from_rows(rows)
+        assert isinstance(batch.values, TupleColumn)
+        out = batch.to_rows()
+        for (k, (vec, n)), (ek, (evec, en)) in zip(out, rows):
+            assert k == ek and n == en and type(n) is int
+            assert np.array_equal(vec, evec)
+
+    def test_string_column_rejects_trailing_nul(self):
+        # numpy's fixed-width U dtype trims trailing NULs; those strings
+        # must take the lossless object path instead.
+        rows = [("a", 1), ("b\x00", 2)]
+        batch = ColumnBatch.from_rows(rows)
+        assert not isinstance(batch.keys, StringColumn)
+        _assert_same_rows(batch.to_rows(), rows)
+
+    def test_iteration_matches_rows(self):
+        rows = [(i, float(i)) for i in range(8)]
+        batch = ColumnBatch.from_rows(rows)
+        assert list(batch) == rows
+        assert len(batch) == 8
+
+
+# -- grouping ----------------------------------------------------------------
+
+
+class TestGrouping:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(hashable_keys, plain_values), min_size=0, max_size=24
+        )
+    )
+    def test_group_records_matches_group_by_key(self, rows):
+        grouped = group_records(ColumnBatch.from_rows(rows))
+        expected = group_by_key(rows)
+        assert len(grouped) == len(expected)
+        for (gk, gvs), (ek, evs) in zip(grouped, expected):
+            assert gk == ek
+            assert gvs == evs
+
+    def test_nan_keys_fall_back_to_row_grouping(self):
+        rows = [(float("nan"), 1), (2.0, 2), (float("nan"), 3)]
+        batch = ColumnBatch.from_rows(rows)
+        assert group_batch(batch) is None
+        # NaN != NaN, so compare structure via repr.
+        assert repr(group_records(batch)) == repr(group_by_key(rows))
+
+    def test_grouped_batch_behaves_like_group_by_key(self):
+        rows = [(i % 3, i * 1.0) for i in range(9)]
+        grouped = group_batch(ColumnBatch.from_rows(rows))
+        assert isinstance(grouped, GroupedBatch)
+        assert list(grouped) == group_by_key(rows)
+        assert grouped.unique_keys().rows() == [0, 1, 2]
+
+    def test_singleton_groups_views_combined_batch(self):
+        batch = ColumnBatch.from_rows([(0, 1.5), (1, 2.5)])
+        grouped = singleton_groups(batch)
+        assert list(grouped) == [(0, [1.5]), (1, [2.5])]
+
+    def test_emit_first_values_parity(self):
+        rows = [(i % 4, float(i)) for i in range(12)]
+        grouped = group_batch(ColumnBatch.from_rows(rows))
+        ctx_batch, ctx_rows = TaskContext(), TaskContext()
+        emit_first_values(ctx_batch, grouped)
+        emit_first_values(ctx_rows, group_by_key(rows))
+        assert ctx_batch.output == ctx_rows.output
+        assert isinstance(ctx_batch.collect(), ColumnBatch)
+
+
+# -- wire sizing -------------------------------------------------------------
+
+
+class TestSizing:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(hashable_keys, plain_values), min_size=0, max_size=24
+        )
+    )
+    def test_batch_wire_size_matches_row_sum(self, rows):
+        batch = ColumnBatch.from_rows(rows)
+        assert batch.nbytes_wire() == sum(sizeof_record(k, v) for k, v in rows)
+        assert sizeof_records(batch) == sizeof_records(rows)
+
+    def test_array_and_tuple_values_size_identically(self):
+        rows = [(i, (np.full(5, float(i)), 1)) for i in range(7)]
+        batch = ColumnBatch.from_rows(rows)
+        assert batch.nbytes_wire() == sum(sizeof_record(k, v) for k, v in rows)
+
+    def test_bucket_sizes_are_additive(self):
+        rows = [(i, float(i)) for i in range(40)]
+        batch = ColumnBatch.from_rows(rows)
+        pids = batch.partition_ids(4)
+        order = np.argsort(pids, kind="stable")
+        sorted_batch = batch.take(order)
+        counts = np.bincount(pids, minlength=4)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        total = sum(
+            sorted_batch.slice(int(bounds[p]), int(bounds[p + 1])).nbytes_wire()
+            for p in range(4)
+        )
+        assert total == batch.nbytes_wire()
+
+
+# -- concat / slice / take ---------------------------------------------------
+
+
+class TestBatchAlgebra:
+    def test_concat_then_group_matches_rows(self):
+        a = ColumnBatch.from_rows([(1, 1.0), (2, 2.0)])
+        b = ColumnBatch.from_rows([(1, 3.0), (3, 4.0)])
+        merged = concat_batches([a, b])
+        assert merged is not None
+        assert list(group_batch(merged)) == group_by_key(
+            a.to_rows() + b.to_rows()
+        )
+
+    def test_concat_mismatched_types_returns_none(self):
+        a = ColumnBatch.from_rows([(1, 1.0)])
+        b = ColumnBatch.from_rows([("s", 1.0)])
+        assert concat_batches([a, b]) is None
+
+    def test_take_and_slice_match_row_indexing(self):
+        rows = [(i, float(i) * 2) for i in range(10)]
+        batch = ColumnBatch.from_rows(rows)
+        idx = np.array([7, 0, 3])
+        assert batch.take(idx).to_rows() == [rows[i] for i in idx]
+        assert batch.slice(2, 6).to_rows() == rows[2:6]
+
+
+# -- environment gate --------------------------------------------------------
+
+
+class TestEnvironmentGate:
+    @pytest.mark.parametrize("raw,expected", [
+        ("", True), ("1", True), ("on", True), ("yes", True),
+        ("0", False), ("off", False), ("false", False), ("no", False),
+        ("OFF", False),
+    ])
+    def test_columnar_enabled_parsing(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("PIC_COLUMNAR", raw)
+        assert columnar_enabled() is expected
+
+    def test_materialize_respects_gate(self, monkeypatch):
+        from repro.cluster.presets import small_cluster
+        from repro.dfs.dfs import DistributedFileSystem
+        from repro.mapreduce.records import DistributedDataset
+
+        records = [(i, float(i)) for i in range(10)]
+        monkeypatch.setenv("PIC_COLUMNAR", "0")
+        dfs = DistributedFileSystem(small_cluster())
+        ds = DistributedDataset.materialize(dfs, "/rows", records, 2)
+        assert isinstance(ds.splits[0].records, list)
+        monkeypatch.setenv("PIC_COLUMNAR", "1")
+        ds = DistributedDataset.materialize(dfs, "/cols", records, 2)
+        assert isinstance(ds.splits[0].records, ColumnBatch)
+        assert ds.all_records() == records

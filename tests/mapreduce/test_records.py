@@ -31,6 +31,14 @@ class TestStableHash:
         with pytest.raises(TypeError):
             stable_hash(object())
 
+    def test_beyond_128_bit_ints(self):
+        # 2**127 is the first int that overflows the fixed 16-byte
+        # packing; arbitrary-width ints must still hash.
+        for key in (2**127, -(2**127) - 1, 10**50, -(10**50)):
+            assert stable_hash(key) == stable_hash(key)
+            assert stable_hash(key) >= 0
+        assert stable_hash(2**127) != stable_hash(2**127 + 1)
+
     @given(st.one_of(st.integers(), st.text(), st.floats(allow_nan=False)))
     def test_always_non_negative(self, key):
         assert stable_hash(key) >= 0

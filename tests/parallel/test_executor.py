@@ -1,5 +1,7 @@
 """Unit tests for the host-side task executors."""
 
+import pickle
+
 import pytest
 
 from repro.parallel import (
@@ -9,6 +11,7 @@ from repro.parallel import (
     get_executor,
     resolve_workers,
 )
+from repro.parallel import executor as executor_mod
 
 
 def _square(x):
@@ -109,3 +112,76 @@ class TestProcessPoolExecutor:
 
     def test_base_class_contract(self):
         assert isinstance(ProcessPoolTaskExecutor(2), TaskExecutor)
+
+
+class TestProbeCache:
+    """The picklability probe runs once per function, not once per wave."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        saved = dict(executor_mod._PROBE_CACHE)
+        executor_mod._PROBE_CACHE.clear()
+        yield
+        executor_mod._PROBE_CACHE.clear()
+        executor_mod._PROBE_CACHE.update(saved)
+
+    @pytest.fixture
+    def dumps_calls(self, monkeypatch):
+        calls = []
+        real_dumps = pickle.dumps
+
+        def counting_dumps(obj, *args, **kwargs):
+            calls.append(obj)
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(pickle, "dumps", counting_dumps)
+        return calls
+
+    def test_picklable_verdict_probed_once(self, dumps_calls):
+        probe = ProcessPoolTaskExecutor._picklable
+        assert probe(_square, (1, "x"))
+        assert len(dumps_calls) == 2  # fn + payload probe
+        assert probe(_square, (2, "y"))
+        assert len(dumps_calls) == 2  # cache hit: no new pickling
+
+    def test_unpicklable_fn_cached_false(self, dumps_calls):
+        def closure(x):
+            return x
+
+        probe = ProcessPoolTaskExecutor._picklable
+        assert not probe(closure, (1,))
+        assert len(dumps_calls) == 1  # fn failed; payload never probed
+        assert not probe(closure, (2,))
+        assert len(dumps_calls) == 1  # negative verdict cached too
+
+    def test_distinct_closures_probed_independently(self, dumps_calls):
+        def make(n):
+            def closure(x):
+                return x + n
+
+            return closure
+
+        probe = ProcessPoolTaskExecutor._picklable
+        assert not probe(make(1), (1,))
+        assert not probe(make(2), (1,))
+        assert len(dumps_calls) == 2  # two identities, two probes
+
+    def test_payload_failure_is_not_cached_against_fn(self, dumps_calls):
+        probe = ProcessPoolTaskExecutor._picklable
+        assert not probe(_square, (lambda: 1,))  # payload unpicklable
+        # The function must not be condemned: a picklable payload from
+        # the next job still goes to the pool.
+        assert probe(_square, (1,))
+        assert ProcessPoolTaskExecutor(2).map(_square, [2, 3]) == [4, 9]
+
+    def test_cached_fallback_still_runs_in_process(self):
+        captured = []
+
+        def closure(x):
+            captured.append(x)
+            return -x
+
+        ex = ProcessPoolTaskExecutor(2)
+        assert ex.map(closure, [1, 2]) == [-1, -2]
+        assert ex.map(closure, [3, 4]) == [-3, -4]  # cached False path
+        assert captured == [1, 2, 3, 4]

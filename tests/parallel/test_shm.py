@@ -1,0 +1,124 @@
+"""Unit tests for the shared-memory batch hand-off.
+
+The handle contract: pickling an :class:`ShmBatch` is cheap, and
+*unpickling* it yields the original ``ColumnBatch`` back — so task
+functions never see the transport.  The submitting side owns the block
+and can unlink it as soon as the map completes; rebuilt batches must
+survive that because workers copy the segments out.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.columnar import ArrayColumn, ColumnBatch, int_column
+from repro.parallel.shm import (
+    MIN_SHM_BYTES,
+    ShmBatch,
+    export_batch,
+    release_batches,
+    swap_out_batches,
+)
+
+
+def _big_batch(rows: int = 200, width: int = 80) -> ColumnBatch:
+    keys = int_column(np.arange(rows, dtype=np.int64))
+    values = ArrayColumn(
+        np.arange(rows * width, dtype=np.float64).reshape(rows, width)
+    )
+    batch = ColumnBatch(keys, values)
+    assert batch.values.data.nbytes >= MIN_SHM_BYTES
+    return batch
+
+
+def _same_batch(a: ColumnBatch, b: ColumnBatch) -> bool:
+    if len(a) != len(b):
+        return False
+    for (ka, va), (kb, vb) in zip(a.to_rows(), b.to_rows()):
+        if ka != kb or not np.array_equal(va, vb):
+            return False
+    return True
+
+
+class TestExportBatch:
+    def test_round_trip_through_pickle(self):
+        batch = _big_batch()
+        handle = export_batch(batch)
+        assert isinstance(handle, ShmBatch)
+        try:
+            wire = pickle.dumps(handle)
+            # The handle is a skeleton, not the data: orders of magnitude
+            # smaller than the ~128 KiB of array payload.
+            assert len(wire) < 4096
+            rebuilt = pickle.loads(wire)
+            assert isinstance(rebuilt, ColumnBatch)
+            assert _same_batch(rebuilt, batch)
+        finally:
+            handle.release()
+
+    def test_rebuilt_batch_outlives_the_block(self):
+        batch = _big_batch()
+        handle = export_batch(batch)
+        assert handle is not None
+        rebuilt = pickle.loads(pickle.dumps(handle))
+        handle.release()  # unlink the block...
+        assert _same_batch(rebuilt, batch)  # ...the copy is unaffected
+        rebuilt.values.data[0, 0] = -1.0  # and writable
+        assert batch.values.data[0, 0] == 0.0
+
+    def test_small_batches_decline(self):
+        batch = ColumnBatch.from_rows([(1, 2.0), (3, 4.0)])
+        assert export_batch(batch) is None
+
+    def test_release_is_idempotent(self):
+        handle = export_batch(_big_batch())
+        assert handle is not None
+        handle.release()
+        handle.release()  # second unlink swallowed
+
+
+class TestSwapOutBatches:
+    def test_batches_inside_tuples_are_swapped(self):
+        batch = _big_batch()
+        payloads = [("spec", batch, 0), ("spec", batch, 1), "other"]
+        swapped, exported = swap_out_batches(payloads)
+        try:
+            assert len(exported) == 1  # same object exported once
+            assert swapped[0][1] is exported[0]
+            assert swapped[1][1] is exported[0]
+            assert swapped[0][0] == "spec" and swapped[0][2] == 0
+            assert swapped[2] == "other"
+        finally:
+            release_batches(exported)
+
+    def test_small_batches_ride_the_pipe(self):
+        batch = ColumnBatch.from_rows([(1, 2.0)])
+        swapped, exported = swap_out_batches([("spec", batch)])
+        assert exported == []
+        assert swapped[0][1] is batch
+
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("PIC_SHM", "0")
+        batch = _big_batch()
+        swapped, exported = swap_out_batches([("spec", batch)])
+        assert exported == []
+        assert swapped[0][1] is batch
+
+    @pytest.mark.parametrize("raw,swaps", [
+        ("", True), ("1", True), ("on", True),
+        ("0", False), ("off", False), ("no", False), ("FALSE", False),
+    ])
+    def test_env_parsing(self, monkeypatch, raw, swaps):
+        monkeypatch.setenv("PIC_SHM", raw)
+        swapped, exported = swap_out_batches([("s", _big_batch())])
+        try:
+            assert bool(exported) is swaps
+        finally:
+            release_batches(exported)
+
+    def test_row_payloads_untouched(self):
+        payloads = [("spec", [(1, 2.0)], 0), (3, 4)]
+        swapped, exported = swap_out_batches(payloads)
+        assert exported == []
+        assert swapped == payloads
