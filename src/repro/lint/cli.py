@@ -89,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's doc, invariant family and a minimal "
+        "bad/good example pair, then exit",
+    )
     return parser
 
 
@@ -132,6 +138,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    if args.explain:
+        from repro.lint.examples import explain
+
+        text = explain(args.explain.strip().upper())
+        if text is None:
+            known = ", ".join(sorted(rules_by_id()))
+            print(
+                f"pic-lint: unknown rule {args.explain!r} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
         return 0
 
     cache_path: str | None

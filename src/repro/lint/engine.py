@@ -103,7 +103,12 @@ def run_lint(
 
     cache: LintCache | None = None
     if cache_path is not None:
-        salt = cache_salt([r.rule_id for r in file_rules])
+        # Project rules never cache findings, but their ids still salt
+        # the cache: adding a whole-program rule must not replay entries
+        # whose noqa suppressions were computed without it.
+        salt = cache_salt(
+            [r.rule_id for r in file_rules] + [r.rule_id for r in project_rules]
+        )
         cache = LintCache(Path(cache_path), salt)
 
     irs: list[dict] = []

@@ -234,6 +234,34 @@ class _Evaluator:
             self.env[name] = AVal(frozenset({("fn", fid)}))
         elif kind == "kill":
             self.env.pop(op[1], None)
+        elif kind == "raise":
+            if op[1] is not None:
+                self.eval(op[1])
+        elif kind == "if":
+            # May-analysis: evaluate the test, then both branches.
+            self.eval(op[1])
+            for sub in op[2]:
+                self.op(sub)
+            for sub in op[3]:
+                self.op(sub)
+        elif kind == "with":
+            for ctx, var in op[1]:
+                self.eval(ctx)
+                if var is not None:
+                    self.env[var] = FRESH
+                    self.tenv.pop(var, None)
+            for sub in op[2]:
+                self.op(sub)
+        elif kind == "try":
+            for sub in op[1]:
+                self.op(sub)
+            for _name, handler_ops in op[2]:
+                for sub in handler_ops:
+                    self.op(sub)
+            for sub in op[3]:
+                self.op(sub)
+            for sub in op[4]:
+                self.op(sub)
 
     def _track_type(self, name: str, desc: list) -> None:
         cfq = self.static_type(desc)
@@ -374,8 +402,12 @@ class _Evaluator:
                 out = out | self.eval(item)
             return out
         if kind == "bin":
-            l, r = self.eval(desc[1]), self.eval(desc[2])
+            l, r = self.eval(desc[2]), self.eval(desc[3])
             return AVal(_EMPTY, l.contents | r.contents)
+        if kind == "cmp":
+            for item in desc[2]:
+                self.eval(item)
+            return FRESH
         if kind == "seq":
             for item in desc[1]:
                 self.eval(item)
@@ -709,7 +741,25 @@ class ProjectAnalysis:
         self.graph = ProjectGraph(modules)
         self.summaries: dict[str, Summary] = {}
         self._bound: dict[str, dict[str, set]] = {}
+        self._typestate: Any = None
+        self._units: Any = None
         self._converge()
+
+    def typestate(self) -> Any:
+        """Lazily-run resource-lifecycle analysis (PIC5xx rules)."""
+        if self._typestate is None:
+            from repro.lint.project.typestate import TypestateAnalysis
+
+            self._typestate = TypestateAnalysis(self)
+        return self._typestate
+
+    def unit_taint(self) -> Any:
+        """Lazily-run quantity-unit taint analysis (PIC6xx rules)."""
+        if self._units is None:
+            from repro.lint.project.units import UnitAnalysis
+
+            self._units = UnitAnalysis(self)
+        return self._units
 
     def bound_callbacks(self, cfq: str, attr: str) -> list[str]:
         """Functions bound to ``cfq(attr=...)`` at any constructor site."""

@@ -1,9 +1,10 @@
 """Lowering: one module's AST → a serializable dataflow IR.
 
-The IR is deliberately tiny.  Each function becomes a linear list of
-*ops* (source order; both branches of an ``if`` are kept — the analysis
-is a may-analysis) over nested *descriptors* describing where a value
-came from:
+The IR is deliberately tiny.  Each function becomes a list of *ops*
+(source order; loop bodies are inlined and both branches of an ``if``
+are kept visible — the alias analysis is a may-analysis, while the
+typestate analysis walks the block structure) over nested *descriptors*
+describing where a value came from:
 
 ========================  =============================================
 descriptor                meaning
@@ -16,7 +17,8 @@ descriptor                meaning
 ``["make", items]``       a display: list/tuple/set/dict literal
 ``["comp", gens, elts]``  a comprehension (own scratch scope)
 ``["union", items]``      either-of (``a or b``, ``x if c else y``)
-``["bin", l, r]``         combination (``a + b``: elements of both)
+``["bin", op, l, r, ln, c]``  ``a <op> b`` (op: ``Add``, ``Sub``, ...)
+``["cmp", ops, items, ln, c]``  a comparison chain (ops: ``Lt``, ...)
 ``["seq", items]``        evaluate for effect, result fresh
 ``["walrus", x, d]``      ``x := d`` — binds and yields ``d``
 ``["spread", d]``         ``*d`` inside a display or call
@@ -25,10 +27,18 @@ descriptor                meaning
                           ``["meth", base, attr]`` or ``["desc", d]``
 ========================  =============================================
 
-Ops: ``["bind", name, d, line]``, ``["unpack", [names], d, line]``,
-``["eval", d, line]``, ``["mutate", target_d, value_d|None, kind,
-line, col]`` (kind ``store``/``aug``/``del``), ``["ret", d, line,
-col]``, ``["defl", name, fid, line]`` and ``["kill", name]``.
+Linear ops: ``["bind", name, d, line]``, ``["unpack", [names], d,
+line]``, ``["eval", d, line]``, ``["mutate", target_d, value_d|None,
+kind, line, col]`` (kind ``store``/``del``/``aug:<Op>``), ``["ret",
+d, line, col]``, ``["defl", name, fid, line]``, ``["kill", name]``
+and ``["raise", d|None, line]``.
+
+Block ops carry nested op lists so path-sensitive analyses see
+control structure and exception edges (schema v2):
+
+* ``["if", test_d, body, orelse, line]``
+* ``["with", [[ctx_d, var|None], ...], body, line]``
+* ``["try", body, [[name|None, handler], ...], orelse, final, line]``
 
 Everything is plain lists/dicts/strings so the incremental cache can
 round-trip a module's IR through JSON without touching the AST again.
@@ -40,7 +50,9 @@ import ast
 from typing import Any, Sequence
 
 #: Bump when the IR shape changes: invalidates every cache entry.
-IR_SCHEMA_VERSION = 1
+#: v2: exception-edge block ops (try/with/if), raise ops, operator
+#: names on bin/cmp descriptors (typestate + unit-taint analyses).
+IR_SCHEMA_VERSION = 2
 
 Desc = list  # nested ["kind", ...] lists; JSON-serializable
 Op = list
@@ -298,8 +310,9 @@ class _FunctionLowering:
         elif isinstance(node, ast.AugAssign):
             value = self.conv(node.value)
             target = self.conv_target_for_mutation(node.target)
+            kind = f"aug:{type(node.op).__name__}"
             self.ops.append(
-                ["mutate", target, value, "aug", node.lineno, node.col_offset]
+                ["mutate", target, value, kind, node.lineno, node.col_offset]
             )
         elif isinstance(node, ast.Expr):
             self.ops.append(["eval", self.conv(node.value), node.lineno])
@@ -316,23 +329,44 @@ class _FunctionLowering:
             self.stmts(node.body)
             self.stmts(node.orelse)
         elif isinstance(node, ast.If):
-            self.ops.append(["eval", self.conv(node.test), node.lineno])
-            self.stmts(node.body)
-            self.stmts(node.orelse)
+            self.ops.append(
+                [
+                    "if",
+                    self.conv(node.test),
+                    self.block(node.body),
+                    self.block(node.orelse),
+                    node.lineno,
+                ]
+            )
         elif isinstance(node, (ast.With, ast.AsyncWith)):
+            items: list[list] = []
             for item in node.items:
-                self.ops.append(["eval", self.conv(item.context_expr), node.lineno])
-                if item.optional_vars is not None:
+                var: str | None = None
+                if isinstance(item.optional_vars, ast.Name):
+                    var = item.optional_vars.id
+                elif item.optional_vars is not None:
+                    # Tuple/attribute targets: keep the v1 binding, no var.
                     self.assign_target(item.optional_vars, ["const"], node.lineno)
-            self.stmts(node.body)
+                items.append([self.conv(item.context_expr), var])
+            self.ops.append(["with", items, self.block(node.body), node.lineno])
         elif isinstance(node, ast.Try):
-            self.stmts(node.body)
+            handlers: list[list] = []
             for handler in node.handlers:
+                hops: list[Op] = []
                 if handler.name:
-                    self.ops.append(["bind", handler.name, ["const"], handler.lineno])
-                self.stmts(handler.body)
-            self.stmts(node.orelse)
-            self.stmts(node.finalbody)
+                    hops.append(["bind", handler.name, ["const"], handler.lineno])
+                hops.extend(self.block(handler.body))
+                handlers.append([handler.name, hops])
+            self.ops.append(
+                [
+                    "try",
+                    self.block(node.body),
+                    handlers,
+                    self.block(node.orelse),
+                    self.block(node.finalbody),
+                    node.lineno,
+                ]
+            )
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             fid = self.mod._lower_function(
                 node, qual=f"{self.qual}.<locals>.{node.name}", class_name=self.class_name
@@ -357,11 +391,21 @@ class _FunctionLowering:
                         ]
                     )
         elif isinstance(node, ast.Raise):
-            if node.exc is not None:
-                self.ops.append(["eval", self.conv(node.exc), node.lineno])
+            exc = self.conv(node.exc) if node.exc is not None else None
+            self.ops.append(["raise", exc, node.lineno])
         elif isinstance(node, ast.Assert):
             self.ops.append(["eval", self.conv(node.test), node.lineno])
         # Import/Global/Nonlocal/Pass/Break/Continue: no dataflow.
+
+    def block(self, body: Sequence[ast.stmt]) -> list[Op]:
+        """Lower ``body`` into its own op list (for block ops)."""
+        saved = self.ops
+        self.ops = []
+        try:
+            self.stmts(body)
+            return self.ops
+        finally:
+            self.ops = saved
 
     def assign_target(self, target: ast.expr, value: Desc, line: int) -> None:
         if isinstance(target, ast.Name):
@@ -439,11 +483,24 @@ class _FunctionLowering:
                 [["seq", [self.conv(node.test)]], self.conv(node.body), self.conv(node.orelse)],
             ]
         if isinstance(node, ast.BinOp):
-            return ["bin", self.conv(node.left), self.conv(node.right)]
+            return [
+                "bin",
+                type(node.op).__name__,
+                self.conv(node.left),
+                self.conv(node.right),
+                node.lineno,
+                node.col_offset,
+            ]
         if isinstance(node, ast.UnaryOp):
             return ["seq", [self.conv(node.operand)]]
         if isinstance(node, ast.Compare):
-            return ["seq", [self.conv(node.left)] + [self.conv(c) for c in node.comparators]]
+            return [
+                "cmp",
+                [type(op).__name__ for op in node.ops],
+                [self.conv(node.left)] + [self.conv(c) for c in node.comparators],
+                node.lineno,
+                node.col_offset,
+            ]
         if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
             return ["walrus", node.target.id, self.conv(node.value)]
         if isinstance(node, ast.Starred):

@@ -6,7 +6,9 @@ Each rule family maps to one simulator invariant (see DESIGN.md §7/§9):
 * ``PIC1xx`` — purity/picklability of user callbacks;
 * ``PIC2xx`` — bytes-conserving flow accounting;
 * ``PIC3xx`` — cross-partition aliasing (whole-program);
-* ``PIC4xx`` — simulation integrity (whole-program).
+* ``PIC4xx`` — simulation integrity (whole-program);
+* ``PIC5xx`` — resource lifecycle typestate (whole-program);
+* ``PIC6xx`` — quantity-unit taint (whole-program).
 
 Per-file rules subclass :class:`Rule` and see one :class:`LintModule`
 at a time.  Whole-program rules subclass :class:`ProjectRule` and see
@@ -66,12 +68,18 @@ def all_rules() -> list[Rule]:
         UnseededRandomRule,
         WallClockRule,
     )
+    from repro.lint.rules.lifecycle import (
+        DoubleReleaseRule,
+        ResourceLeakRule,
+        UseAfterReleaseRule,
+    )
     from repro.lint.rules.purity import CallbackPurityRule, TaskSpecPicklabilityRule
     from repro.lint.rules.simulation import (
         ReentrantHandlerMutationRule,
         TrafficBypassRule,
     )
     from repro.lint.rules.sizing import GetsizeofRule, RawLenByteCountRule
+    from repro.lint.rules.units import SimSinkTaintRule, UnitMixRule
 
     rules: list[Rule] = [
         WallClockRule(),
@@ -87,8 +95,30 @@ def all_rules() -> list[Rule]:
         ColumnViewRule(),
         TrafficBypassRule(),
         ReentrantHandlerMutationRule(),
+        ResourceLeakRule(),
+        DoubleReleaseRule(),
+        UseAfterReleaseRule(),
+        UnitMixRule(),
+        SimSinkTaintRule(),
     ]
     return sorted(rules, key=lambda r: r.rule_id)
+
+
+#: Rule-ID prefix -> invariant family name (used by ``--explain``).
+FAMILIES = {
+    "PIC0": "determinism of replay",
+    "PIC1": "purity/picklability of user callbacks",
+    "PIC2": "bytes-conserving flow accounting",
+    "PIC3": "cross-partition aliasing",
+    "PIC4": "simulation integrity",
+    "PIC5": "resource lifecycle typestate",
+    "PIC6": "quantity-unit taint",
+}
+
+
+def family_of(rule_id: str) -> str:
+    """Human name of the invariant family ``rule_id`` belongs to."""
+    return FAMILIES.get(rule_id[:4], "unknown")
 
 
 def rules_by_id() -> dict[str, Rule]:

@@ -1,0 +1,76 @@
+"""PIC5xx: resource-lifecycle typestate (whole-program).
+
+The zero-copy substrate (PR 5) moved record batches into POSIX shared
+memory: a ``SharedMemory`` block that is created but never
+``close()``d *and* ``unlink()``ed outlives the process and eats
+``/dev/shm`` until a reboot.  Pools must be ``shutdown()``, files and
+mmaps ``close()``d.  These rules read the converged typestate facts
+from :mod:`repro.lint.project.typestate`, which walks the
+exception-edge IR (schema v2) with acquire/release protocols:
+
+* **PIC501** — a resource can leak: an exception between acquisition
+  and release escapes the function with the resource still live, or
+  the function simply never releases it on the normal path.
+* **PIC502** — double release: a release method is called again on a
+  resource that every path has already released.
+* **PIC503** — use after release: a non-release method or data
+  attribute is touched after the release is certain.
+
+``with`` blocks, ``try``/``finally`` release, releasing the resource
+inside a callee (interprocedural release summaries), and handing the
+resource off (return / store / argument escape) all count as handled
+and stay silent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.model import Finding
+from repro.lint.project.analysis import ProjectAnalysis
+from repro.lint.rules import ProjectRule
+
+
+def _findings(
+    project: "ProjectAnalysis", rule_id: str
+) -> Iterator[Finding]:
+    for rule, fid, line, col, message in project.typestate().findings:
+        if rule != rule_id:
+            continue
+        yield Finding(
+            path=project.graph.fid_path[fid],
+            line=line,
+            col=col + 1,
+            rule=rule_id,
+            message=message,
+        )
+
+
+class ResourceLeakRule(ProjectRule):
+    """PIC501: acquired resource not released on every path."""
+
+    rule_id = "PIC501"
+    summary = "resource (shm block, pool, file, mmap) can leak on an exception path"
+
+    def check_project(self, project: "ProjectAnalysis") -> Iterator[Finding]:
+        yield from _findings(project, self.rule_id)
+
+
+class DoubleReleaseRule(ProjectRule):
+    """PIC502: resource released twice."""
+
+    rule_id = "PIC502"
+    summary = "release method called again on an already-released resource"
+
+    def check_project(self, project: "ProjectAnalysis") -> Iterator[Finding]:
+        yield from _findings(project, self.rule_id)
+
+
+class UseAfterReleaseRule(ProjectRule):
+    """PIC503: resource used after release."""
+
+    rule_id = "PIC503"
+    summary = "resource used after it was released on every path"
+
+    def check_project(self, project: "ProjectAnalysis") -> Iterator[Finding]:
+        yield from _findings(project, self.rule_id)

@@ -46,6 +46,23 @@ def shm_enabled() -> bool:
     return raw not in ("0", "off", "false", "no")
 
 
+def _release_block(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink ``shm``, each step independently, best-effort.
+
+    ``unlink`` must run even when ``close`` raises — a skipped unlink
+    leaks the block past process exit — so the two releases get
+    separate guards instead of one shared try block.
+    """
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - mapping already gone
+        pass
+    try:
+        shm.unlink()
+    except OSError:  # pragma: no cover - name already gone
+        pass
+
+
 def _attach(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing block without taking ownership.
 
@@ -104,11 +121,7 @@ class ShmBatch:
 
     def release(self) -> None:
         """Close and unlink the backing block (submitter-side cleanup)."""
-        try:
-            self._shm.close()
-            self._shm.unlink()
-        except OSError:  # pragma: no cover - already gone
-            pass
+        _release_block(self._shm)
 
 
 def export_batch(batch: Any) -> ShmBatch | None:
@@ -135,11 +148,17 @@ def export_batch(batch: Any) -> ShmBatch | None:
         return None
     segments: list[tuple[int, int]] = []
     offset = 0
-    for view in views:
-        flat = view.cast("B")
-        shm.buf[offset : offset + flat.nbytes] = flat
-        segments.append((offset, flat.nbytes))
-        offset += flat.nbytes
+    try:
+        for view in views:
+            flat = view.cast("B")
+            shm.buf[offset : offset + flat.nbytes] = flat
+            segments.append((offset, flat.nbytes))
+            offset += flat.nbytes
+    except BaseException:
+        # The handle below owns the block; until it exists, a failed
+        # copy must not leave the block behind in /dev/shm.
+        _release_block(shm)
+        raise
     return ShmBatch(skeleton, segments, shm)
 
 

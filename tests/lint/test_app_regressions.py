@@ -24,15 +24,15 @@ def mutated(path: Path, old: str, new: str) -> str:
 
 def project_rules(source: str) -> list[str]:
     return sorted(
-        {f.rule for f in lint_source(source) if f.rule[3] in "34"}
+        {f.rule for f in lint_source(source) if f.rule[3] in "3456"}
     )
 
 
 class TestRealTreeIsClean:
     @pytest.mark.parametrize("subtree", ["src", "benchmarks", "examples"])
-    def test_no_aliasing_or_simulation_findings(self, subtree):
+    def test_no_whole_program_findings(self, subtree):
         run = run_lint([REPO / subtree])
-        offenders = [f for f in run.findings if f.rule[3] in "34"]
+        offenders = [f for f in run.findings if f.rule[3] in "3456"]
         assert offenders == []
         assert run.errors == []
 
@@ -92,3 +92,82 @@ class TestSeededRegressions:
             '        split_index = attempt["split"]',
         )
         assert "PIC402" in project_rules(source)
+
+    def test_shm_rebuild_without_close_guard_is_caught(self):
+        # Dropping the try/finally around the worker-side copy leaks
+        # the mapping whenever a segment copy raises.
+        source = mutated(
+            REPO / "src/repro/parallel/shm.py",
+            "    shm = _attach(name)\n"
+            "    try:\n"
+            "        buffers = [\n"
+            "            bytearray(shm.buf[offset : offset + size])\n"
+            "            for offset, size in segments\n"
+            "        ]\n"
+            "    finally:\n"
+            "        shm.close()",
+            "    shm = _attach(name)\n"
+            "    buffers = [\n"
+            "        bytearray(shm.buf[offset : offset + size])\n"
+            "        for offset, size in segments\n"
+            "    ]\n"
+            "    shm.close()",
+        )
+        assert "PIC501" in project_rules(source)
+
+    def test_double_cleanup_on_error_path_is_caught(self):
+        # Releasing the block twice in export_batch's error path: the
+        # second close/unlink pair is certainly redundant.
+        source = mutated(
+            REPO / "src/repro/parallel/shm.py",
+            "        _release_block(shm)\n        raise",
+            "        _release_block(shm)\n"
+            "        _release_block(shm)\n"
+            "        raise",
+        )
+        assert "PIC502" in project_rules(source)
+
+    def test_reading_the_mapping_after_close_is_caught(self):
+        # Closing before the copy reads freed shared memory.
+        source = mutated(
+            REPO / "src/repro/parallel/shm.py",
+            "    shm = _attach(name)\n"
+            "    try:\n"
+            "        buffers = [\n"
+            "            bytearray(shm.buf[offset : offset + size])\n"
+            "            for offset, size in segments\n"
+            "        ]\n"
+            "    finally:\n"
+            "        shm.close()",
+            "    shm = _attach(name)\n"
+            "    shm.close()\n"
+            "    buffers = [\n"
+            "        bytearray(shm.buf[offset : offset + size])\n"
+            "        for offset, size in segments\n"
+            "    ]",
+        )
+        assert "PIC503" in project_rules(source)
+
+    def test_wall_clock_iteration_timing_is_caught(self):
+        # Timing an iteration with the host clock but reporting it
+        # against the simulated clock mixes the two time bases.
+        source = mutated(
+            REPO / "src/repro/mapreduce/driver.py",
+            "            iter_start = self.cluster.now",
+            "            import time\n"
+            "            iter_start = time.perf_counter()  # pic: noqa: PIC001",
+        )
+        assert "PIC601" in project_rules(source)
+
+    def test_wall_clock_overhead_scheduled_is_caught(self):
+        # A host timestamp fed into sim.schedule silently warps the
+        # simulated job-launch overhead.
+        source = mutated(
+            REPO / "src/repro/mapreduce/runner.py",
+            "        overhead = self.spec.costs.job_overhead_seconds\n"
+            "        self.cluster.sim.schedule(overhead, self._start_maps)",
+            "        import time\n"
+            "        overhead = time.perf_counter()  # pic: noqa: PIC001\n"
+            "        self.cluster.sim.schedule(overhead, self._start_maps)",
+        )
+        assert "PIC602" in project_rules(source)

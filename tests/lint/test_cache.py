@@ -118,6 +118,50 @@ class TestInvalidation:
         assert cache_salt(["PIC001"]) != cache_salt(["PIC001", "PIC301"])
         assert cache_salt(["PIC301", "PIC001"]) == cache_salt(["PIC001", "PIC301"])
 
+    def test_salt_depends_on_ir_schema_version(self, monkeypatch):
+        # An IR schema bump (like v1 -> v2 for exception edges) must
+        # invalidate caches written under the old shape.
+        import repro.lint.cache as cache_mod
+
+        current = cache_salt(["PIC001"])
+        monkeypatch.setattr(cache_mod, "IR_SCHEMA_VERSION", 1_000_000)
+        assert cache_salt(["PIC001"]) != current
+
+    def test_project_rule_set_change_invalidates_the_cache(self, tree, tmp_path):
+        # Whole-program rules don't cache findings, but dropping one
+        # changes the salt: its noqa bookkeeping differs per rule set.
+        cache = tmp_path / "cache.json"
+        run_lint([tree], cache_path=cache)
+        from repro.lint.rules import all_rules
+
+        subset = [r for r in all_rules() if r.rule_id != "PIC501"]
+        rerun = run_lint([tree], rules=subset, cache_path=cache)
+        assert rerun.stats["cache_hits"] == 0
+
+    def test_project_findings_reproduce_from_cached_ir(self, tree, tmp_path):
+        # The v2 IR (structured try/with/if blocks) must round-trip
+        # through the JSON cache: a warm run parses nothing yet still
+        # produces the whole-program typestate finding.
+        cache = tmp_path / "cache.json"
+        leaky = tree / "mod_leak.py"
+        leaky.write_text(
+            "def read_all(path):\n"
+            "    fh = open(path)\n"
+            "    try:\n"
+            "        return fh.read()\n"
+            "    except ValueError:\n"
+            "        return None\n",
+            encoding="utf-8",
+        )
+        cold = run_lint([tree], cache_path=cache)
+        cold_rules = sorted(f.rule for f in cold.findings if f.path == str(leaky))
+        assert "PIC501" in cold_rules
+
+        warm = run_lint([tree], cache_path=cache)
+        assert warm.stats["files_parsed"] == 0
+        warm_rules = sorted(f.rule for f in warm.findings if f.path == str(leaky))
+        assert warm_rules == cold_rules
+
     def test_corrupt_cache_file_is_ignored(self, tree, tmp_path):
         cache = tmp_path / "cache.json"
         cache.write_text("{not json", encoding="utf-8")

@@ -7,6 +7,7 @@ and can unlink it as soon as the map completes; rebuilt batches must
 survive that because workers copy the segments out.
 """
 
+import os
 import pickle
 
 import numpy as np
@@ -122,3 +123,115 @@ class TestSwapOutBatches:
         swapped, exported = swap_out_batches(payloads)
         assert exported == []
         assert swapped == payloads
+
+
+# -- exception paths ---------------------------------------------------------
+
+SHM_DIR = "/dev/shm"
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR), reason="no /dev/shm on this platform"
+)
+
+
+def _shm_path(name: str) -> str:
+    # SharedMemory names may carry a leading slash; the file does not.
+    return os.path.join(SHM_DIR, name.lstrip("/"))
+
+
+def _crash(payload):
+    raise RuntimeError("injected worker crash")
+
+
+def _first_of_pair(payload):
+    return payload[0]
+
+
+class TestExceptionPaths:
+    """No shm block survives a failed map, wherever the failure lands.
+
+    Each test records the block names the run creates (by wrapping
+    ``swap_out_batches`` or the block constructor) and then scans
+    ``/dev/shm`` to prove every one of them was unlinked.
+    """
+
+    @pytest.fixture()
+    def recorded_names(self, monkeypatch):
+        from repro.parallel import shm as shm_mod
+
+        names: list[str] = []
+        real = shm_mod.swap_out_batches
+
+        def recording(payloads):
+            swapped, exported = real(payloads)
+            names.extend(handle._shm.name for handle in exported)
+            return swapped, exported
+
+        monkeypatch.setattr(shm_mod, "swap_out_batches", recording)
+        return names
+
+    @needs_dev_shm
+    def test_worker_crash_mid_map_leaves_no_block(self, recorded_names):
+        from repro.parallel.executor import ProcessPoolTaskExecutor
+
+        payloads = [("a", _big_batch()), ("b", _big_batch())]
+        with pytest.raises(RuntimeError, match="injected worker crash"):
+            ProcessPoolTaskExecutor(2).map_or_none(_crash, payloads)
+        assert len(recorded_names) == 2
+        for name in recorded_names:
+            assert not os.path.exists(_shm_path(name))
+
+    @needs_dev_shm
+    def test_submitter_failure_before_submit_leaves_no_block(
+        self, recorded_names, monkeypatch
+    ):
+        # The window between export and pool submit: the batches are
+        # already in shared memory when acquiring the pool blows up.
+        from repro.parallel import executor as executor_mod
+
+        def no_pool(workers):
+            raise RuntimeError("injected submit failure")
+
+        monkeypatch.setattr(executor_mod, "_shared_pool", no_pool)
+        payloads = [("a", _big_batch()), ("b", _big_batch())]
+        with pytest.raises(RuntimeError, match="injected submit failure"):
+            executor_mod.ProcessPoolTaskExecutor(2).map_or_none(
+                _first_of_pair, payloads
+            )
+        assert len(recorded_names) == 2
+        for name in recorded_names:
+            assert not os.path.exists(_shm_path(name))
+
+    @needs_dev_shm
+    def test_export_copy_failure_releases_the_block(self, monkeypatch):
+        # A copy failure between block creation and handle construction
+        # must unlink the block before the exception escapes.
+        from repro.parallel import shm as shm_mod
+
+        real_cls = shm_mod.shared_memory.SharedMemory
+        created: list[str] = []
+
+        class FailingCopy:
+            def __init__(self, *args, **kwargs):
+                self._real = real_cls(*args, **kwargs)
+                created.append(self._real.name)
+
+            @property
+            def name(self):
+                return self._real.name
+
+            @property
+            def buf(self):
+                raise MemoryError("injected copy failure")
+
+            def close(self):
+                self._real.close()
+
+            def unlink(self):
+                self._real.unlink()
+
+        monkeypatch.setattr(shm_mod.shared_memory, "SharedMemory", FailingCopy)
+        with pytest.raises(MemoryError, match="injected copy failure"):
+            export_batch(_big_batch())
+        assert len(created) == 1
+        assert not os.path.exists(_shm_path(created[0]))
