@@ -57,6 +57,12 @@ def _add_common(parser: argparse.ArgumentParser, default_partitions: int) -> Non
              "plane (default: $PIC_COLUMNAR or on; wall-clock only — "
              "simulated results are identical either way)",
     )
+    parser.add_argument(
+        "--pipeline", choices=("on", "off"), default=None,
+        help="pipelined shuffle + loop-aware node-memory caching "
+             "(default: $PIC_PIPELINE or off; changes simulated timing "
+             "— same model, completion time <= barrier mode)",
+    )
 
 
 def _report(result: ComparisonResult, quality_rows: list[list[str]] | None = None) -> str:
@@ -281,6 +287,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.mapreduce.columnar import COLUMNAR_ENV_VAR
 
         os.environ[COLUMNAR_ENV_VAR] = "1" if args.columnar == "on" else "0"
+    if getattr(args, "pipeline", None) is not None:
+        from repro.mapreduce.pipeline import PIPELINE_ENV_VAR
+
+        os.environ[PIPELINE_ENV_VAR] = "1" if args.pipeline == "on" else "0"
     print(args.func(args))
     return 0
 

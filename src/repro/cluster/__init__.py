@@ -21,6 +21,7 @@ from repro.cluster.events import Simulation, Event
 from repro.cluster.topology import NodeSpec, Node, Topology, Link
 from repro.cluster.flows import FlowNetwork, Flow
 from repro.cluster.metrics import TrafficMeter, TrafficCategory
+from repro.cluster.cache import CachePin, CacheStats, NodeMemoryCache
 from repro.cluster.cluster import Cluster
 from repro.cluster.presets import small_cluster, medium_cluster, large_cluster
 
@@ -35,6 +36,9 @@ __all__ = [
     "Flow",
     "TrafficMeter",
     "TrafficCategory",
+    "CachePin",
+    "CacheStats",
+    "NodeMemoryCache",
     "Cluster",
     "small_cluster",
     "medium_cluster",

@@ -121,7 +121,10 @@ _METH_SHALLOW = frozenset({"copy", "tolist", "most_common"})
 
 #: Flow-registration primitives: callbacks handed to these become
 #: *flow continuations* (PIC401: never call one synchronously).
-_FLOW_POSITIONAL = {"transfer": 4, "start_flow": 4}
+#: ``on_ready`` is the SplitGate registrar — its callbacks fire from
+#: flow completions (or inline at registration when the split is
+#: already ready), so they carry the same no-sync-invoke contract.
+_FLOW_POSITIONAL = {"transfer": 4, "start_flow": 4, "on_ready": 1}
 _FLOW_BATCH = frozenset({"transfer_batch", "start_flows"})
 _FLOW_KW_ONLY = frozenset({"write", "read"})
 #: Event/slot registration primitives: callbacks become *event

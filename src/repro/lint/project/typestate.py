@@ -69,6 +69,13 @@ _ACQUIRER_TAILS = {
     "SharedMemory": "shm",
     "ProcessPoolExecutor": "pool",
     "ThreadPoolExecutor": "pool",
+    # Node-memory cache pins: NodeMemoryCache.pin hands out an owned
+    # eviction guard (or None); the method tail is specific enough to
+    # treat any .pin(...) as an acquisition.
+    "CachePin": "cachepin",
+    "pin": "cachepin",
+    # Host-side shm export cache: owns live blocks until released.
+    "BatchExportCache": "batchcache",
 }
 
 #: kind -> methods that release (any subset order).
@@ -77,9 +84,25 @@ RELEASE_METHODS = {
     "file": frozenset({"close"}),
     "mmap": frozenset({"close"}),
     "pool": frozenset({"shutdown"}),
+    "cachepin": frozenset({"release"}),
+    "batchcache": frozenset({"release"}),
 }
+#: kind -> the release every instance must see before it goes dead.
+_REQUIRED_RELEASE = {
+    "pool": frozenset({"shutdown"}),
+    "cachepin": frozenset({"release"}),
+    "batchcache": frozenset({"release"}),
+}
+_DEFAULT_REQUIRED = frozenset({"close"})
 #: kind -> what a context manager's __exit__ performs.
-_CM_RELEASE = {"shm": "close", "file": "close", "mmap": "close", "pool": "shutdown"}
+_CM_RELEASE = {
+    "shm": "close",
+    "file": "close",
+    "mmap": "close",
+    "pool": "shutdown",
+    "cachepin": "release",
+    "batchcache": "release",
+}
 #: Every known release-method name (for parameter summaries).
 RELEASE_ANY = frozenset({"close", "unlink", "shutdown", "release"})
 #: Attribute reads that are safe on a released resource.
@@ -90,6 +113,8 @@ _KIND_NOUN = {
     "file": "file handle",
     "mmap": "mmap handle",
     "pool": "executor pool",
+    "cachepin": "cache pin",
+    "batchcache": "batch export cache",
 }
 
 
@@ -130,7 +155,7 @@ class Res:
     def released(self) -> bool:
         """Fully released on every path walked so far."""
         if self.param is not None:
-            return "close" in self.done_must or "shutdown" in self.done_must
+            return bool({"close", "shutdown", "release"} & self.done_must)
         return self.required <= self.done_must
 
 
@@ -676,7 +701,7 @@ class _Walker:
             kind = _ACQUIRER_TAILS.get(func[2])
         if kind is None:
             return None
-        required = {"close"} if kind != "pool" else {"shutdown"}
+        required = set(_REQUIRED_RELEASE.get(kind, _DEFAULT_REQUIRED))
         if kind == "shm" and any(kw == "create" for kw, _d in kwargs):
             required.add("unlink")
         return Res(kind, line, col, frozenset(required))

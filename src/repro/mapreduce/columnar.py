@@ -502,7 +502,9 @@ def float_column(values: np.ndarray) -> ScalarColumn:
 class ColumnBatch:
     """A batch of ``(key, value)`` records in structure-of-arrays form."""
 
-    __slots__ = ("keys", "values")
+    # __weakref__ lets the shm export cache key live handles to a batch
+    # without extending its lifetime (pickling ignores the slot).
+    __slots__ = ("keys", "values", "__weakref__")
 
     def __init__(self, keys: Column, values: Column) -> None:
         if len(keys) != len(values):

@@ -82,6 +82,23 @@ class CostHints:
             self.reduce_seconds_per_record + self.sort_seconds_per_record
         )
 
+    def reduce_merge_compute(self, num_input_records: int) -> float:
+        """The merge-sort share of :meth:`reduce_compute`.
+
+        Pipelined execution charges this incrementally, per arriving
+        shuffle bucket, overlapping it with the remaining map wave.
+        """
+        return num_input_records * self.sort_seconds_per_record
+
+    def reduce_apply_compute(self, num_input_records: int) -> float:
+        """The reduce-function share of :meth:`reduce_compute`.
+
+        ``reduce_merge_compute + reduce_apply_compute`` equals
+        ``reduce_compute`` up to float associativity; the barrier path
+        keeps the fused formula so default-mode runs stay bit-identical.
+        """
+        return num_input_records * self.reduce_seconds_per_record
+
     def without_overheads(self) -> "CostHints":
         """The strengthened-baseline variant of Section V-A.
 

@@ -43,6 +43,10 @@ class IterationTrace:
     shuffle_bytes: int
     model_update_bytes: int
     job_results: list[JobResult] = field(default_factory=list)
+    # Node-memory cache activity (pipelined mode; zero otherwise).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
 
 @dataclass
@@ -118,9 +122,13 @@ class IterativeDriver:
         started = self.cluster.now
         input_seen = self.input_already_cached
 
+        pipeline = self.runner.pipeline
+        cache = self.runner.cache
+
         for iteration in range(self.max_iterations):
             iter_start = self.cluster.now
             meter_before = self.cluster.meter.snapshot()
+            cache_before = cache.snapshot() if cache is not None else None
             specs = self.jobs(model, iteration)
             if not specs:
                 raise ValueError("jobs() returned an empty chain")
@@ -129,13 +137,23 @@ class IterativeDriver:
             for spec in specs:
                 if self.optimized_baseline:
                     spec = _strip_overheads(spec)
+                elif pipeline and iteration > 0:
+                    # Warm executors: after the first iteration the
+                    # pipelined engine keeps containers alive
+                    # (Spark/HaLoop style), so repeated job/task launch
+                    # costs disappear without the blanket §V-A credit.
+                    spec = _strip_overheads(spec)
                 result = self.runner.run(
                     spec,
                     self.dataset,
                     model=current_model,
                     model_bytes=self.model_sizer(current_model),
                     model_locations=model_locations,
-                    input_cached=self.optimized_baseline and input_seen,
+                    # Pipelined mode earns input residency through the
+                    # node cache instead of the blanket §V-A credit.
+                    input_cached=(
+                        self.optimized_baseline and input_seen and not pipeline
+                    ),
                     model_mode=self.model_mode,
                     speculative=self.speculative,
                 )
@@ -146,6 +164,11 @@ class IterativeDriver:
             input_seen = True
             new_model = current_model
             delta = self.cluster.meter.diff(meter_before)
+            cache_delta = (
+                cache.snapshot() - cache_before
+                if cache is not None and cache_before is not None
+                else None
+            )
             traces.append(
                 IterationTrace(
                     iteration=iteration,
@@ -157,6 +180,9 @@ class IterativeDriver:
                         delta.get("model_update", {}).get("total_bytes", 0)
                     ),
                     job_results=job_results,
+                    cache_hits=cache_delta.hits if cache_delta else 0,
+                    cache_misses=cache_delta.misses if cache_delta else 0,
+                    cache_evictions=cache_delta.evictions if cache_delta else 0,
                 )
             )
             previous, model = model, new_model

@@ -27,6 +27,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.cluster.cache import NodeMemoryCache
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import TrafficCategory
 from repro.dfs.dfs import DistributedFileSystem, FileMeta
@@ -37,6 +38,7 @@ from repro.mapreduce.columnar import (
     group_batch,
 )
 from repro.mapreduce.job import Counters, JobResult, JobSpec, TaskContext
+from repro.mapreduce.pipeline import SplitGate, pipeline_enabled
 from repro.mapreduce.records import (
     DistributedDataset,
     group_by_key,
@@ -67,10 +69,19 @@ class JobRunner:
         cluster: Cluster,
         dfs: DistributedFileSystem,
         executor: TaskExecutor | None = None,
+        pipeline: bool | None = None,
+        cache: NodeMemoryCache | None = None,
     ) -> None:
         self.cluster = cluster
         self.dfs = dfs
         self.executor = executor or get_executor()
+        # Pipelined mode (``PIC_PIPELINE`` when None): reducers merge
+        # arriving buckets incrementally and input splits are served
+        # from the simulated node-memory cache across iterations.
+        self.pipeline = pipeline_enabled() if pipeline is None else pipeline
+        if cache is None and self.pipeline:
+            cache = NodeMemoryCache.from_cluster(cluster)
+        self.cache = cache if self.pipeline else None
         self.map_scheduler = SlotScheduler(cluster, "map")
         self._reduce_capacity = {
             n.node_id: n.spec.reduce_slots for n in cluster.nodes
@@ -88,6 +99,7 @@ class JobRunner:
         model_mode: str = "broadcast",
         failures: dict[int, int] | None = None,
         speculative: bool = False,
+        model_gate: SplitGate | None = None,
     ) -> JobResult:
         """Execute ``spec`` over ``dataset`` and return measured results.
 
@@ -114,6 +126,11 @@ class JobRunner:
         ``speculative`` enables Hadoop's backup tasks: once every map
         is either finished or running and slots are idle, stragglers get
         a duplicate attempt elsewhere; the first attempt to finish wins.
+
+        ``model_gate`` (pipelined mode) makes each map task wait on its
+        split's outstanding prerequisite flows — e.g. the engine's
+        sub-model scatter — instead of the caller draining the event
+        queue before submitting the job.
         """
         if model_mode not in ("broadcast", "partitioned"):
             raise ValueError(
@@ -121,7 +138,7 @@ class JobRunner:
             )
         state = _JobState(self, spec, dataset, model, model_bytes,
                           model_locations, input_cached, next(self._job_seq),
-                          model_mode, failures or {}, speculative)
+                          model_mode, failures or {}, speculative, model_gate)
         state.launch()
         self.cluster.run()
         return state.finish()
@@ -159,9 +176,12 @@ class _JobState:
         model_mode: str = "broadcast",
         failures: dict[int, int] | None = None,
         speculative: bool = False,
+        model_gate: SplitGate | None = None,
     ) -> None:
         self.runner = runner
         self.cluster = runner.cluster
+        self.pipeline = runner.pipeline
+        self.model_gate = model_gate
         self.spec = spec
         self.dataset = dataset
         self.model = model
@@ -188,11 +208,20 @@ class _JobState:
             p % self.cluster.num_nodes for p in range(self.num_reducers)
         ]
         self._model_on_node: set[int] = set(self.model_locations)
-        # partition -> list of record lists from each map
-        self._buckets: dict[int, list[list[tuple[Any, Any]]]] = {
+        # partition -> (map index, record list) per arrived bucket.
+        # Reduce input is consumed in map-index order regardless of
+        # shuffle completion order, so the model — float for float —
+        # never depends on network timing.  This is what lets barrier
+        # and pipelined runs produce bit-identical results despite
+        # their different flow schedules.
+        self._buckets: dict[int, list[tuple[int, Any]]] = {
             p: [] for p in range(self.num_reducers)
         }
         self._bucket_arrivals = {p: 0 for p in range(self.num_reducers)}
+        # Pipelined mode: simulated time at which each partition's
+        # fetcher-side incremental merge of already-arrived buckets
+        # finishes (a per-reduce-node work-conserving chain).
+        self._merge_ready = {p: 0.0 for p in range(self.num_reducers)}
         self._maps_done = 0
         self._reduces_done = 0
         self._reduce_started = [False] * self.num_reducers
@@ -293,6 +322,13 @@ class _JobState:
         self._schedule_attempt(
             attempt, self.spec.costs.task_overhead_seconds, part_done
         )
+        # Pipelined mode: the split's prerequisite flows (the engine's
+        # sub-model scatter / first-iteration co-location) may still be
+        # in the air; park the task on the gate instead of having had a
+        # global barrier before job submission.
+        if self.model_gate is not None:
+            pending["count"] += 1
+            self.model_gate.on_ready(split_index, part_done)
         # Model distribution.
         if self.model_bytes > 0:
             if self.model_mode == "broadcast":
@@ -324,22 +360,30 @@ class _JobState:
                             src, node_id, share,
                             TrafficCategory.MODEL_READ, part_done,
                         )
-        # Input split read from the closest replica.
+        # Input split read from the closest replica.  With the node
+        # cache (pipelined mode) a split resident from an earlier read
+        # is served from memory — free, like ``input_cached``, but
+        # earned per node under the in-memory-ratio budget.
         if not self.input_cached and split.nbytes > 0:
-            replicas = self.dataset.locations(split_index)
-            src = self._closest_of(replicas, node_id)
-            pending["count"] += 1
-            if src == node_id:
-                disk = self.cluster.nodes[node_id].spec.disk_bandwidth
-                self._schedule_attempt(attempt, split.nbytes / disk, part_done)
-                self.cluster.meter.record(
-                    TrafficCategory.INPUT, split.nbytes,
-                    crosses_core=False, on_fabric=False,
-                )
-            else:
-                self.cluster.transfer(
-                    src, node_id, split.nbytes, TrafficCategory.INPUT, part_done
-                )
+            cache = self.runner.cache
+            key = (self.dataset.path, split_index)
+            if cache is None or not cache.lookup(node_id, key):
+                replicas = self.dataset.locations(split_index)
+                src = self._closest_of(replicas, node_id)
+                pending["count"] += 1
+                if src == node_id:
+                    disk = self.cluster.nodes[node_id].spec.disk_bandwidth
+                    self._schedule_attempt(attempt, split.nbytes / disk, part_done)
+                    self.cluster.meter.record(
+                        TrafficCategory.INPUT, split.nbytes,
+                        crosses_core=False, on_fabric=False,
+                    )
+                else:
+                    self.cluster.transfer(
+                        src, node_id, split.nbytes, TrafficCategory.INPUT, part_done
+                    )
+                if cache is not None:
+                    cache.put(node_id, key, split.nbytes)
 
     def _map_compute_phase(self, attempt: dict) -> None:
         split_index = attempt["split"]
@@ -526,7 +570,7 @@ class _JobState:
             self.shuffle_bytes += nbytes
             requests.append((
                 node_id, self.reduce_node[p], nbytes, TrafficCategory.SHUFFLE,
-                self._make_bucket_arrival(p, recs),
+                self._make_bucket_arrival(p, split_index, recs),
             ))
         self.cluster.transfer_batch(requests)
 
@@ -562,11 +606,22 @@ class _JobState:
                 )
 
     def _make_bucket_arrival(
-        self, partition: int, recs: Any
+        self, partition: int, split_index: int, recs: Any
     ) -> Callable[..., None]:
         def on_arrival(_flow: Any = None) -> None:
-            self._buckets[partition].append(recs)
+            self._buckets[partition].append((split_index, recs))
             self._bucket_arrivals[partition] += 1
+            if self.pipeline:
+                # Merge the bucket as it lands (fetcher-side merge
+                # thread): the chain is work-conserving per partition,
+                # so the final task only pays whatever merge tail is
+                # still outstanding when its slot frees.
+                node = self.reduce_node[partition]
+                merge = self.spec.costs.reduce_merge_compute(len(recs))
+                ready = max(self._merge_ready[partition], self.cluster.now)
+                self._merge_ready[partition] = (
+                    ready + self.cluster.compute_time(node, merge)
+                )
             self._maybe_start_reduce(partition)
 
         return on_arrival
@@ -584,11 +639,24 @@ class _JobState:
                 self._reduce_waiting.append(partition)
             return
         self._reduce_started[partition] = True
-        pieces = self._buckets[partition]
+        # Canonical merge order: by map index, like the sorted runs of
+        # a merge sort — arrival timing must not leak into float
+        # summation order, or barrier and pipelined models would drift
+        # apart in the last ulp.
+        stored = sorted(self._buckets[partition], key=lambda item: item[0])
+        pieces = [recs for _split_index, recs in stored]
         num_records = sum(len(piece) for piece in pieces)
-        compute = self.spec.costs.reduce_compute(num_records)
-        compute += self.spec.costs.task_overhead_seconds
-        delay = self.cluster.compute_time(node, compute)
+        if self.pipeline:
+            # The merge already ran incrementally as buckets arrived;
+            # pay only its unfinished tail plus the reduce function.
+            compute = self.spec.costs.reduce_apply_compute(num_records)
+            compute += self.spec.costs.task_overhead_seconds
+            delay = max(0.0, self._merge_ready[partition] - self.cluster.now)
+            delay += self.cluster.compute_time(node, compute)
+        else:
+            compute = self.spec.costs.reduce_compute(num_records)
+            compute += self.spec.costs.task_overhead_seconds
+            delay = self.cluster.compute_time(node, compute)
         self.cluster.sim.schedule(
             delay, lambda: self._reduce_execute(partition, node, pieces)
         )

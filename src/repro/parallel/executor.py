@@ -120,7 +120,9 @@ class ProcessPoolTaskExecutor(TaskExecutor):
             return None
         # Columnar record batches ride to the workers through shared
         # memory, not the pool's pickle pipe; handles pickle in O(1).
-        payloads, exported = swap_out_batches(payloads)
+        # In pipelined mode loop-invariant batches keep their blocks
+        # alive across maps instead of re-exporting every iteration.
+        payloads, exported = swap_out_batches(payloads, cache=_export_cache())
         try:
             if not self._picklable(fn, payloads[0]):
                 return None
@@ -199,3 +201,39 @@ def shutdown_shared_pools() -> None:
 
 
 atexit.register(shutdown_shared_pools)
+
+
+# -- shared export cache -----------------------------------------------------
+
+_EXPORT_CACHE: Any | None = None
+
+
+def _export_cache() -> Any | None:
+    """Process-wide :class:`~repro.parallel.shm.BatchExportCache`, or
+    ``None`` when pipelined mode is off (``PIC_PIPELINE``)."""
+    from repro.mapreduce.pipeline import pipeline_enabled
+
+    if not pipeline_enabled():
+        return None
+    global _EXPORT_CACHE
+    if _EXPORT_CACHE is None:
+        from repro.parallel.shm import BatchExportCache
+
+        _EXPORT_CACHE = BatchExportCache()
+    return _EXPORT_CACHE
+
+
+def release_export_cache() -> None:
+    """Unlink every cached shm block (atexit hook; also handy in tests).
+
+    Resets the singleton so a later pipelined run starts a fresh cache
+    rather than hitting the released (terminal) one.
+    """
+    global _EXPORT_CACHE
+    cache = _EXPORT_CACHE
+    _EXPORT_CACHE = None
+    if cache is not None:
+        cache.release()
+
+
+atexit.register(release_export_cache)

@@ -30,14 +30,21 @@ from __future__ import annotations
 
 import os
 import pickle
+import weakref
+from collections import OrderedDict
 from multiprocessing import shared_memory
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 SHM_ENV_VAR = "PIC_SHM"
 
 # Below this many payload bytes the two pipe copies are cheaper than a
 # shared-memory block's create/attach/unlink syscalls.
 MIN_SHM_BYTES = 64 * 1024
+
+# Byte budget for blocks the export cache keeps alive between pool
+# maps (pipelined mode).  Loop-invariant datasets re-submitted every
+# iteration stay well under this; the LRU trim handles the rest.
+DEFAULT_EXPORT_CACHE_BYTES = 1 << 30
 
 
 def shm_enabled() -> bool:
@@ -119,6 +126,11 @@ class ShmBatch:
     def __reduce__(self) -> tuple[Any, tuple[Any, ...]]:
         return (_load_shm_batch, (self._shm.name, self.skeleton, self.segments))
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held in the backing shared block."""
+        return sum(size for _offset, size in self.segments)
+
     def release(self) -> None:
         """Close and unlink the backing block (submitter-side cleanup)."""
         _release_block(self._shm)
@@ -162,8 +174,145 @@ def export_batch(batch: Any) -> ShmBatch | None:
     return ShmBatch(skeleton, segments, shm)
 
 
+class BatchExportCache:
+    """Keeps shared-memory exports alive across pool maps.
+
+    Per-iteration MapReduce jobs re-submit the same loop-invariant
+    ``ColumnBatch`` objects every iteration; without a cache each map
+    call re-pickles and re-copies them into a fresh shared block only
+    to unlink it minutes of CPU later.  Pipelined mode routes
+    :func:`swap_out_batches` through this cache instead: the first
+    sighting of a batch exports it, later sightings reuse the live
+    handle, and the blocks are unlinked only on eviction, batch
+    garbage-collection, or :meth:`release`.
+
+    Entries are keyed by ``id(batch)`` but guarded by a weak reference
+    to the batch — an ``id`` recycled by the allocator can never alias
+    a stale handle onto a different batch.  When a cached batch is
+    collected its block is released immediately via the weakref
+    callback.  The byte budget is enforced lazily at :meth:`begin`
+    (start of a pool map), never mid-map, so a handle leased for the
+    in-flight map cannot be unlinked under the workers; ``begin`` also
+    pins the current map's batches with strong references for the same
+    reason.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_EXPORT_CACHE_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        # The guard is "callable returning the batch or None" — a real
+        # weakref, or _dead_ref for batches that cannot take one.
+        self._entries: OrderedDict[
+            int, tuple[Callable[[], Any], ShmBatch]
+        ] = OrderedDict()
+        self._bytes = 0
+        # Batches leased since the last begin(); the strong refs stop a
+        # caller-dropped batch from being collected (and its block
+        # unlinked) while the pool map that uses it is still running.
+        self._active: list[Any] = []
+        self._released = False
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held across all cached blocks."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def begin(self) -> None:
+        """Start a new pool map: unpin the previous map's batches and
+        trim the cache back under budget (LRU first).
+
+        Dead entries (batch collected, or never weakref-able) are
+        swept here too — this is the first point where the prior map
+        is guaranteed finished with their blocks.
+        """
+        self._active.clear()
+        dead = [key for key, (ref, _h) in self._entries.items() if ref() is None]
+        for key in dead:
+            self._drop(key)
+        while self._bytes > self.max_bytes and self._entries:
+            key = next(iter(self._entries))
+            self._drop(key)
+
+    def lease(self, batch: Any) -> ShmBatch | None:
+        """Live handle for ``batch``, exporting it on first sighting.
+
+        ``None`` means the batch does not qualify for shared memory
+        (too small, non-buffer columns) — pickle it normally.  The
+        returned handle stays owned by the cache: callers must not
+        release it.
+        """
+        if self._released:
+            # Terminal state: nobody would release a fresh block, so
+            # fall back to plain pickling rather than leak one.
+            return None
+        key = id(batch)
+        entry = self._entries.get(key)
+        if entry is not None:
+            ref, handle = entry
+            if ref() is batch:
+                self._entries.move_to_end(key)
+                self._active.append(batch)
+                self.hits += 1
+                return handle
+            # The id was recycled for a different object; the old
+            # batch's weakref callback is about to (or failed to) drop
+            # this entry — do it now.
+            self._drop(key)
+        self.misses += 1
+        handle = export_batch(batch)
+        if handle is None:
+            return None
+
+        def _collected(_ref: weakref.ref[Any], *, _key: int = key) -> None:
+            self._drop(_key)
+
+        try:
+            ref = weakref.ref(batch, _collected)
+        except TypeError:
+            # Not weakref-able: no way to observe the batch's death, so
+            # the handle serves this map only — the always-dead ref
+            # makes begin()'s sweep release it before the next map.
+            self._entries[key] = (_dead_ref, handle)
+        else:
+            self._entries[key] = (ref, handle)
+            self._active.append(batch)
+        self._bytes += handle.nbytes
+        return handle
+
+    def _drop(self, key: int) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        _ref, handle = entry
+        self._bytes -= handle.nbytes
+        handle.release()
+
+    def release(self) -> None:
+        """Unlink every cached block and stop caching.
+
+        Safe to call more than once; later :meth:`lease` calls decline
+        to export at all, so ``release`` is a terminal operation (used
+        at interpreter exit).
+        """
+        self._released = True
+        self._active.clear()
+        for key in list(self._entries):
+            self._drop(key)
+
+
+def _dead_ref() -> None:
+    """Stand-in weakref for non-weakref-able batches: always dead, so
+    begin()'s sweep releases the entry once its map has finished."""
+    return None
+
+
 def swap_out_batches(
     payloads: Sequence[Any],
+    cache: BatchExportCache | None = None,
 ) -> tuple[list[Any], list[ShmBatch]]:
     """Replace columnar batches inside payload tuples with shm handles.
 
@@ -172,13 +321,19 @@ def swap_out_batches(
     deep — exactly where the task functions carry their record batches.
     When ``PIC_SHM`` is off (or nothing qualifies) the originals come
     back untouched.
+
+    With ``cache`` set, handles are leased from it instead of exported
+    fresh: they stay alive across calls and are **not** added to the
+    returned release list — the cache owns their lifetime.
     """
     if not shm_enabled():
         return list(payloads), []
     from repro.mapreduce.columnar import ColumnBatch
 
+    if cache is not None:
+        cache.begin()
     exported: list[ShmBatch] = []
-    cache: dict[int, ShmBatch | None] = {}
+    seen: dict[int, ShmBatch | None] = {}
     swapped: list[Any] = []
     for payload in payloads:
         if isinstance(payload, tuple) and any(
@@ -188,12 +343,15 @@ def swap_out_batches(
             for item in payload:
                 if isinstance(item, ColumnBatch):
                     # Identical batches (e.g. a shared dataset) export once.
-                    handle = cache.get(id(item))
-                    if id(item) not in cache:
-                        handle = export_batch(item)
-                        cache[id(item)] = handle
-                        if handle is not None:
-                            exported.append(handle)
+                    handle = seen.get(id(item))
+                    if id(item) not in seen:
+                        if cache is not None:
+                            handle = cache.lease(item)
+                        else:
+                            handle = export_batch(item)
+                            if handle is not None:
+                                exported.append(handle)
+                        seen[id(item)] = handle
                     if handle is not None:
                         items.append(handle)
                         continue

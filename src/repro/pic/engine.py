@@ -30,10 +30,12 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Any, Sequence
 
+from repro.cluster.cache import CachePin, NodeMemoryCache
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import TrafficCategory
 from repro.dfs.dfs import DistributedFileSystem
 from repro.mapreduce.job import JobResult, JobSpec, TaskContext
+from repro.mapreduce.pipeline import SplitGate, pipeline_enabled
 from repro.mapreduce.records import DistributedDataset
 from repro.mapreduce.runner import JobRunner
 from repro.parallel import TaskExecutor, get_executor, solve_subproblem
@@ -68,6 +70,10 @@ class BEIterationStats:
     duration: float
     shuffle_bytes: int
     model_update_bytes: int
+    # Node-memory cache activity (pipelined mode; zero otherwise).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     @property
     def max_local_iterations(self) -> int:
@@ -112,6 +118,8 @@ class BestEffortEngine:
         distributed_merge: bool | None = None,
         speculative: bool = False,
         executor: TaskExecutor | None = None,
+        pipeline: bool | None = None,
+        cache: NodeMemoryCache | None = None,
     ) -> None:
         if num_partitions < 1:
             raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
@@ -136,7 +144,26 @@ class BestEffortEngine:
             cluster, replication=min(3, cluster.num_nodes), seed=23
         )
         self.executor = executor or get_executor()
-        self.runner = runner or JobRunner(cluster, self.dfs, executor=self.executor)
+        # Pipelined mode (``PIC_PIPELINE`` when None): model scatter
+        # and first-iteration co-location overlap the job's map wave
+        # through a SplitGate, and loop-invariant splits are pinned in
+        # simulated node memory across best-effort iterations.  An
+        # explicitly supplied runner wins — engine and runner must
+        # agree on one mode and share one cache, or pinned splits
+        # would never be the ones looked up.
+        if runner is not None:
+            self.runner = runner
+            self.pipeline = runner.pipeline
+            self.cache = runner.cache
+        else:
+            self.pipeline = pipeline_enabled() if pipeline is None else pipeline
+            if self.pipeline and cache is None:
+                cache = NodeMemoryCache.from_cluster(cluster)
+            self.cache = cache if self.pipeline else None
+            self.runner = JobRunner(
+                cluster, self.dfs, executor=self.executor,
+                pipeline=self.pipeline, cache=self.cache,
+            )
         self._dataset_seq = 0
 
     def home_node(self, subproblem_index: int) -> int:
@@ -156,53 +183,90 @@ class BestEffortEngine:
         stats: list[BEIterationStats] = []
         started = cluster.now
         dataset: DistributedDataset | None = None
+        pins: list[CachePin] = []
 
-        for be_iter in range(self.be_max_iterations):
-            iter_start = cluster.now
-            meter_before = cluster.meter.snapshot()
-            subs = self._partition(records, model)
-            sub_models = [s.model for s in subs]
-
-            if dataset is None:
-                dataset = self._colocate(subs)
-                cluster.run()
-
-            # PIC partitions the model: each best-effort map task receives
-            # only its sub-model, so distribution is a scatter of the
-            # partial models, not a full-model broadcast per node.
-            self._scatter_sub_models(subs, model_locations)
-            cluster.run()
-
-            spec = self._be_job_spec(
-                be_iter, solved_cache=self._solve_subproblems(dataset, sub_models)
-            )
-            result = self.runner.run(
-                spec,
-                dataset,
-                model=_BEModel(sub_models),
-                model_bytes=0,
-                model_locations=model_locations,
-                input_cached=self.optimized_baseline and be_iter > 0,
-                speculative=self.speculative,
-            )
-            merged = program.model_from_records(result.output)
-            model_locations = result.output_locations
-
-            delta = cluster.meter.diff(meter_before)
-            stats.append(
-                BEIterationStats(
-                    be_iteration=be_iter,
-                    local_iterations=self._local_iteration_counts(result),
-                    duration=cluster.now - iter_start,
-                    shuffle_bytes=int(delta.get("shuffle", {}).get("total_bytes", 0)),
-                    model_update_bytes=int(
-                        delta.get("model_update", {}).get("total_bytes", 0)
-                    ),
+        try:
+            for be_iter in range(self.be_max_iterations):
+                iter_start = cluster.now
+                meter_before = cluster.meter.snapshot()
+                cache_before = (
+                    self.cache.snapshot() if self.cache is not None else None
                 )
-            )
-            previous, model = model, merged
-            if program.be_converged(previous, model, be_iter):
-                break
+                subs = self._partition(records, model)
+                sub_models = [s.model for s in subs]
+
+                # Pipelined mode: a per-split latch replaces the
+                # cluster.run() barriers — each map task starts as soon
+                # as *its* co-location and sub-model flows landed.
+                gate = SplitGate(self.num_partitions) if self.pipeline else None
+
+                if dataset is None:
+                    dataset = self._colocate(subs, gate)
+                    if self.cache is not None:
+                        pins.extend(self._pin_splits(dataset, subs))
+                    if gate is None:
+                        cluster.run()
+
+                # PIC partitions the model: each best-effort map task receives
+                # only its sub-model, so distribution is a scatter of the
+                # partial models, not a full-model broadcast per node.
+                self._scatter_sub_models(subs, model_locations, gate)
+                if gate is None:
+                    cluster.run()
+
+                spec = self._be_job_spec(
+                    be_iter,
+                    solved_cache=self._solve_subproblems(dataset, sub_models),
+                )
+                result = self.runner.run(
+                    spec,
+                    dataset,
+                    model=_BEModel(sub_models),
+                    model_bytes=0,
+                    model_locations=model_locations,
+                    input_cached=(
+                        self.optimized_baseline and be_iter > 0
+                        and not self.pipeline
+                    ),
+                    speculative=self.speculative,
+                    model_gate=gate,
+                )
+                merged = program.model_from_records(result.output)
+                model_locations = result.output_locations
+
+                delta = cluster.meter.diff(meter_before)
+                cache_delta = (
+                    self.cache.snapshot() - cache_before
+                    if self.cache is not None and cache_before is not None
+                    else None
+                )
+                stats.append(
+                    BEIterationStats(
+                        be_iteration=be_iter,
+                        local_iterations=self._local_iteration_counts(result),
+                        duration=cluster.now - iter_start,
+                        shuffle_bytes=int(
+                            delta.get("shuffle", {}).get("total_bytes", 0)
+                        ),
+                        model_update_bytes=int(
+                            delta.get("model_update", {}).get("total_bytes", 0)
+                        ),
+                        cache_hits=cache_delta.hits if cache_delta else 0,
+                        cache_misses=cache_delta.misses if cache_delta else 0,
+                        cache_evictions=(
+                            cache_delta.evictions if cache_delta else 0
+                        ),
+                    )
+                )
+                previous, model = model, merged
+                if program.be_converged(previous, model, be_iter):
+                    break
+        finally:
+            # The loop-invariant splits stay evictable once the phase
+            # ends; the entries themselves may remain resident for the
+            # top-off phase's reads.
+            for pin in pins:
+                pin.release()
 
         return BestEffortResult(
             model=model,
@@ -233,14 +297,20 @@ class BestEffortEngine:
         ]
 
     def _scatter_sub_models(
-        self, subs: list[SubProblem], model_locations: tuple[int, ...]
+        self,
+        subs: list[SubProblem],
+        model_locations: tuple[int, ...],
+        gate: SplitGate | None = None,
     ) -> None:
         """Ship each sub-problem's model share from the merged model's
         closest replica to the sub-problem's home node.
 
         Remote shares go out as one bulk batch — one rate recompute for
-        the whole scatter instead of one per sub-problem."""
-        requests = []
+        the whole scatter instead of one per sub-problem.  With a
+        ``gate`` (pipelined mode) each remote share registers a
+        dependency for its sub-problem's split, so the map task waits
+        exactly for its own share instead of a global barrier."""
+        requests: list[Any] = []
         for sub in subs:
             nbytes = self.program.model_bytes(sub.model)
             if nbytes <= 0:
@@ -256,13 +326,20 @@ class BestEffortEngine:
                     TrafficCategory.MODEL_READ, nbytes,
                     crosses_core=False, on_fabric=False,
                 )
+            elif gate is not None:
+                requests.append((
+                    src, sub.home_node, nbytes, TrafficCategory.MODEL_READ,
+                    gate.add_dependency(sub.index),
+                ))
             else:
                 requests.append(
                     (src, sub.home_node, nbytes, TrafficCategory.MODEL_READ)
                 )
         self.cluster.transfer_batch(requests)
 
-    def _colocate(self, subs: list[SubProblem]) -> DistributedDataset:
+    def _colocate(
+        self, subs: list[SubProblem], gate: SplitGate | None = None
+    ) -> DistributedDataset:
         """Pin each partition's data to its home node, charging the
         one-time scatter from the (uniformly spread) original input.
 
@@ -270,12 +347,16 @@ class BestEffortEngine:
         node pair: partitions homed on the same node pull from each
         source together, as one bulk read, instead of issuing
         ``num_partitions × num_nodes`` per-partition flows.  Byte totals
-        are identical either way.
+        are identical either way.  With a ``gate`` (pipelined mode)
+        each aggregated flow registers one dependency covering every
+        sub-problem homed at its destination.
         """
         cluster = self.cluster
         n = cluster.num_nodes
         pair_bytes: dict[tuple[int, int], float] = {}
+        homed_at: dict[int, list[int]] = {}
         for sub in subs:
+            homed_at.setdefault(sub.home_node, []).append(sub.index)
             nbytes = sub.nbytes
             if nbytes == 0:
                 continue
@@ -285,10 +366,17 @@ class BestEffortEngine:
                     continue
                 pair = (src, sub.home_node)
                 pair_bytes[pair] = pair_bytes.get(pair, 0.0) + per_node
-        cluster.transfer_batch([
-            (src, dst, nbytes, TrafficCategory.REPARTITION)
-            for (src, dst), nbytes in pair_bytes.items()
-        ])
+        if gate is not None:
+            cluster.transfer_batch([
+                (src, dst, nbytes, TrafficCategory.REPARTITION,
+                 gate.add_dependency(*homed_at.get(dst, [])))
+                for (src, dst), nbytes in pair_bytes.items()
+            ])
+        else:
+            cluster.transfer_batch([
+                (src, dst, nbytes, TrafficCategory.REPARTITION)
+                for (src, dst), nbytes in pair_bytes.items()
+            ])
         self._dataset_seq += 1
         return DistributedDataset.from_partitions(
             self.dfs,
@@ -298,6 +386,26 @@ class BestEffortEngine:
             replication=1,
             sizes=[sub.nbytes for sub in subs],
         )
+
+    def _pin_splits(
+        self, dataset: DistributedDataset, subs: list[SubProblem]
+    ) -> list[CachePin]:
+        """Protect the co-located loop-invariant splits from eviction.
+
+        Pinning only reserves the budget — the first map-task read
+        still pays for materialization and marks the entry resident,
+        so byte totals match a barrier run that reads everything once.
+        Partitions the budget rejects simply stay uncached.
+        """
+        assert self.cache is not None
+        pins: list[CachePin] = []
+        for sub in subs:
+            pin = self.cache.pin(
+                sub.home_node, (dataset.path, sub.index), sub.nbytes
+            )
+            if pin is not None:
+                pins.append(pin)
+        return pins
 
     def _solve_subproblems(
         self, dataset: DistributedDataset, sub_models: list[Any]
@@ -342,6 +450,10 @@ class BestEffortEngine:
 
         costs = program.costs
         if self.optimized_baseline:
+            costs = costs.without_overheads()
+        elif self.pipeline and be_iter > 0:
+            # Warm executors: containers stay alive between pipelined
+            # best-effort rounds, so repeated launch costs disappear.
             costs = costs.without_overheads()
         common = dict(
             name=f"{program.name}-be{be_iter}",

@@ -5,9 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.cluster.cache import NodeMemoryCache
 from repro.cluster.cluster import Cluster
 from repro.dfs.dfs import DistributedFileSystem
 from repro.mapreduce.driver import DriverResult, IterativeDriver
+from repro.mapreduce.pipeline import pipeline_enabled
 from repro.mapreduce.records import DistributedDataset
 from repro.mapreduce.runner import JobRunner
 from repro.parallel import get_executor
@@ -87,6 +89,7 @@ class PICRunner:
         distributed_merge: bool | None = None,
         speculative: bool = False,
         workers: int | None = None,
+        pipeline: bool | None = None,
     ) -> None:
         self.cluster = cluster
         self.program = program
@@ -100,6 +103,9 @@ class PICRunner:
         # Host-side execution parallelism (``PIC_WORKERS`` when None);
         # affects wall-clock only, never the simulated run.
         self.executor = get_executor(workers)
+        # Pipelined simulated execution (``PIC_PIPELINE`` when None);
+        # changes simulated timing — see repro.mapreduce.pipeline.
+        self.pipeline = pipeline_enabled() if pipeline is None else pipeline
 
     def run(
         self,
@@ -122,6 +128,12 @@ class PICRunner:
             num_splits=max(1, cluster.topology.total_map_slots()),
         )
 
+        # One cache spans both phases: splits the best-effort phase
+        # left resident stay warm for top-off reads of the same data.
+        cache = (
+            NodeMemoryCache.from_cluster(cluster) if self.pipeline else None
+        )
+
         # Phase 1: best-effort.
         be_start = cluster.now
         meter_before = cluster.meter.snapshot()
@@ -135,6 +147,8 @@ class PICRunner:
             distributed_merge=self.distributed_merge,
             speculative=self.speculative,
             executor=self.executor,
+            pipeline=self.pipeline,
+            cache=cache,
         )
         be = engine.run(records, initial_model)
         be_delta = cluster.meter.diff(meter_before)
@@ -150,7 +164,10 @@ class PICRunner:
         # Phase 2: top-off — the unmodified IC computation.
         topoff_start = cluster.now
         meter_before = cluster.meter.snapshot()
-        runner = JobRunner(cluster, dfs, executor=self.executor)
+        runner = JobRunner(
+            cluster, dfs, executor=self.executor,
+            pipeline=self.pipeline, cache=cache,
+        )
         driver = IterativeDriver(
             runner=runner,
             dataset=dataset,
@@ -194,6 +211,7 @@ def run_ic_baseline(
     seed: SeedLike = 0,
     speculative: bool = False,
     workers: int | None = None,
+    pipeline: bool | None = None,
 ) -> DriverResult:
     """Run the conventional IC implementation (Figure 1(a)) on ``cluster``.
 
@@ -212,7 +230,9 @@ def run_ic_baseline(
         records,
         num_splits=max(1, cluster.topology.total_map_slots()),
     )
-    runner = JobRunner(cluster, dfs, executor=get_executor(workers))
+    runner = JobRunner(
+        cluster, dfs, executor=get_executor(workers), pipeline=pipeline
+    )
     driver = IterativeDriver(
         runner=runner,
         dataset=dataset,

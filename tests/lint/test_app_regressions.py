@@ -72,11 +72,11 @@ class TestSeededRegressions:
         # through the flow network: zero simulated cost, wrong clock.
         source = mutated(
             REPO / "src/repro/mapreduce/runner.py",
-            "                self.cluster.transfer(\n"
-            "                    src, node_id, split.nbytes, "
+            "                    self.cluster.transfer(\n"
+            "                        src, node_id, split.nbytes, "
             "TrafficCategory.INPUT, part_done\n"
-            "                )",
-            "                part_done(None)",
+            "                    )",
+            "                    part_done(None)",
         )
         assert "PIC401" in project_rules(source)
 

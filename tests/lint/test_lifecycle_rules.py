@@ -177,6 +177,82 @@ class TestResourceLeak:
         ) == []
 
 
+class TestCacheHandles:
+    """The loop-aware cache types follow the same protocol: ``pin``
+    hands back a CachePin and BatchExportCache() owns shm blocks —
+    both must see ``release()`` on every path."""
+
+    def test_cache_pin_never_released(self):
+        assert rules_found(
+            """
+            class Node:
+                def __init__(self, cache):
+                    self.cache = cache
+
+                def warm(self, split, nbytes):
+                    pin = self.cache.pin(split, nbytes)
+                    self.cache.put(split, nbytes)
+                    return nbytes
+            """
+        ) == ["PIC501"]
+
+    def test_cache_pin_released_in_finally_is_clean(self):
+        assert rules_found(
+            """
+            class Node:
+                def __init__(self, cache):
+                    self.cache = cache
+
+                def warm(self, split, nbytes, fill):
+                    pin = self.cache.pin(split, nbytes)
+                    try:
+                        fill(split)
+                        self.cache.put(split, nbytes)
+                    finally:
+                        pin.release()
+            """
+        ) == []
+
+    def test_cache_pin_with_block_is_clean(self):
+        assert rules_found(
+            """
+            class Node:
+                def __init__(self, cache):
+                    self.cache = cache
+
+                def warm(self, split, nbytes, fill):
+                    with self.cache.pin(split, nbytes):
+                        fill(split)
+                        self.cache.put(split, nbytes)
+            """
+        ) == []
+
+    def test_export_cache_never_released(self):
+        assert rules_found(
+            """
+            from repro.parallel.shm import BatchExportCache
+
+            def fan_out(batches):
+                cache = BatchExportCache()
+                return [cache.lease(batch) for batch in batches]
+            """
+        ) == ["PIC501"]
+
+    def test_export_cache_released_in_finally_is_clean(self):
+        assert rules_found(
+            """
+            from repro.parallel.shm import BatchExportCache
+
+            def fan_out(batches):
+                cache = BatchExportCache()
+                try:
+                    return [cache.lease(batch) for batch in batches]
+                finally:
+                    cache.release()
+            """
+        ) == []
+
+
 class TestDoubleRelease:
     def test_sequential_double_close(self):
         assert "PIC502" in rules_found(

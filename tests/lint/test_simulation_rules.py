@@ -80,6 +80,30 @@ class TestTrafficBypass:
         """
         assert rules(src) == []
 
+    def test_on_ready_continuation_invoked_synchronously_flagged(self):
+        # SplitGate.on_ready(split, cb) parks cb until the split's last
+        # shuffle flow lands; calling it directly merges the bucket at
+        # zero simulated cost.
+        src = """
+        class Merger:
+            def arm(self, gate, sink):
+                def merge(split):
+                    sink.append(split)
+                gate.on_ready(3, merge)
+                merge(3)
+        """
+        assert rules(src) == ["PIC401"]
+
+    def test_near_miss_on_ready_registration_only_silent(self):
+        src = """
+        class Merger:
+            def arm(self, gate, sink):
+                def merge(split):
+                    sink.append(split)
+                gate.on_ready(3, merge)
+        """
+        assert rules(src) == []
+
     def test_near_miss_plain_helper_call_silent(self):
         # Synchronously calling a function that was never registered as
         # a continuation is ordinary control flow.

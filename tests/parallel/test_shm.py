@@ -162,8 +162,8 @@ class TestExceptionPaths:
         names: list[str] = []
         real = shm_mod.swap_out_batches
 
-        def recording(payloads):
-            swapped, exported = real(payloads)
+        def recording(payloads, cache=None):
+            swapped, exported = real(payloads, cache=cache)
             names.extend(handle._shm.name for handle in exported)
             return swapped, exported
 
@@ -235,3 +235,124 @@ class TestExceptionPaths:
             export_batch(_big_batch())
         assert len(created) == 1
         assert not os.path.exists(_shm_path(created[0]))
+
+
+class TestBatchExportCache:
+    def _cache(self, **kwargs):
+        from repro.parallel.shm import BatchExportCache
+
+        return BatchExportCache(**kwargs)
+
+    def test_lease_reuses_the_handle_across_maps(self):
+        batch = _big_batch()
+        cache = self._cache()
+        try:
+            first = cache.lease(batch)
+            assert isinstance(first, ShmBatch)
+            cache.begin()
+            second = cache.lease(batch)
+            assert second is first
+            assert (cache.hits, cache.misses) == (1, 1)
+            assert cache.nbytes == first.nbytes > 0
+        finally:
+            cache.release()
+
+    def test_swap_out_leaves_cached_handles_off_the_release_list(self):
+        batch = _big_batch()
+        cache = self._cache()
+        try:
+            swapped, exported = swap_out_batches(
+                [("a", batch), ("b", batch)], cache=cache
+            )
+            assert exported == []
+            handle = swapped[0][1]
+            assert isinstance(handle, ShmBatch)
+            assert swapped[1][1] is handle
+            # release_batches on the (empty) list must not kill the block
+            release_batches(exported)
+            assert os.path.exists(_shm_path(handle._shm.name))
+        finally:
+            cache.release()
+
+    def test_small_batches_decline(self):
+        cache = self._cache()
+        try:
+            keys = int_column(np.arange(4, dtype=np.int64))
+            small = ColumnBatch(keys, int_column(np.arange(4, dtype=np.int64)))
+            assert cache.lease(small) is None
+            assert len(cache) == 0 and cache.nbytes == 0
+        finally:
+            cache.release()
+
+    def test_collected_batch_releases_its_block(self):
+        import gc
+
+        batch = _big_batch()
+        cache = self._cache()
+        try:
+            handle = cache.lease(batch)
+            name = handle._shm.name
+            cache.begin()  # unpin the previous map's strong reference
+            del batch
+            gc.collect()
+            assert len(cache) == 0 and cache.nbytes == 0
+            assert not os.path.exists(_shm_path(name))
+        finally:
+            cache.release()
+
+    def test_active_pin_outlives_caller_drop_until_next_begin(self):
+        """A batch dropped by the caller mid-map must keep its block:
+        the in-flight pool map still reads it."""
+        import gc
+
+        cache = self._cache()
+        try:
+            handle = cache.lease(_big_batch())  # caller ref dies at once
+            name = handle._shm.name
+            gc.collect()
+            assert os.path.exists(_shm_path(name))  # epoch pin holds it
+            cache.begin()
+            gc.collect()
+            assert not os.path.exists(_shm_path(name))
+        finally:
+            cache.release()
+
+    def test_budget_trims_lru_first_at_begin(self):
+        a, b = _big_batch(), _big_batch()
+        one = a.values.data.nbytes  # per-entry payload scale
+        cache = self._cache(max_bytes=int(one * 1.5))
+        try:
+            ha = cache.lease(a)
+            cache.begin()
+            cache.lease(a)  # refresh a
+            hb = cache.lease(b)
+            name_a, name_b = ha._shm.name, hb._shm.name
+            assert cache.nbytes > cache.max_bytes  # over budget mid-map: ok
+            cache.begin()  # trim point: b was touched last, a goes
+            assert not os.path.exists(_shm_path(name_a))
+            assert os.path.exists(_shm_path(name_b))
+        finally:
+            cache.release()
+
+    def test_release_is_terminal(self):
+        batch = _big_batch()
+        cache = self._cache()
+        handle = cache.lease(batch)
+        name = handle._shm.name
+        cache.release()
+        assert not os.path.exists(_shm_path(name))
+        assert cache.lease(batch) is None  # no unowned blocks post-release
+        cache.release()  # idempotent
+
+    def test_executor_singleton_follows_pipeline_env(self, monkeypatch):
+        from repro.parallel import executor
+
+        monkeypatch.setenv("PIC_PIPELINE", "0")
+        executor.release_export_cache()
+        assert executor._export_cache() is None
+        monkeypatch.setenv("PIC_PIPELINE", "1")
+        cache = executor._export_cache()
+        assert cache is not None and executor._export_cache() is cache
+        executor.release_export_cache()
+        assert executor._export_cache() is not cache  # fresh after release
+        executor.release_export_cache()
