@@ -13,6 +13,14 @@ Times the host-side hot paths of the reproduction:
   on the flow simulator (64/256 nodes, heterogeneous sizes), timing the
   structure-of-arrays rate recomputation and same-horizon completion
   batching at scale (the 256-node wave is slow-tier: full mode only);
+* ``multijob_flows_16`` / ``multijob_flows_64`` — K independent jobs
+  (churny intra-rack shuffles over standing bulk transfers) on one
+  flow simulator, timing component-scoped rebalancing: per-event cost
+  must not scale with the K-1 unaffected jobs (64 is slow-tier);
+* ``concurrent_pic_16`` — sixteen whole MapReduce jobs submitted
+  concurrently through ``submit_many`` against one shared cluster,
+  exercising the fair slot interleaving and the per-component
+  completion timers end-to-end;
 * ``kmeans_500k_columnar`` / ``kmeans_500k_row`` — one full MapReduce
   job over 500k 3-d points with the columnar data plane on vs off
   (same simulated seconds and bytes; the wall-clock gap is the point);
@@ -61,10 +69,12 @@ SIZES = {
     "smoke": dict(sizing_records=20_000, points=4_000, k=5, partitions=6,
                   job_records=8_000, e2e_points=4_000, fanout_classes=11,
                   bulk_points=500_000, shuffle_records=200_000,
+                  multijob_chain=24, multijob_bulk=48, concurrent_records=3_000,
                   repeats=5),
     "full": dict(sizing_records=200_000, points=40_000, k=10, partitions=24,
                  job_records=40_000, e2e_points=20_000, fanout_classes=23,
                  bulk_points=500_000, shuffle_records=1_000_000,
+                 multijob_chain=48, multijob_bulk=48, concurrent_records=12_000,
                  repeats=5),
 }
 
@@ -261,6 +271,125 @@ def _make_flow_fanout(num_nodes: int):
     return bench
 
 
+def _make_multijob_flows(num_jobs: int):
+    """K independent jobs, each a churny shuffle plus a bulk transfer.
+
+    Each "job" owns one 8-node rack.  Nodes 0–3 run the *churn* phase:
+    12 intra-rack flows kept alive for ``multijob_chain`` ping-pong hops
+    each — every completion starts the reverse transfer, so the event
+    stream interleaves thousands of arrivals/departures across jobs.
+    Nodes 4–7 carry ``multijob_bulk`` long bulk flows (sized to outlast
+    the churn) on disjoint links, the standing load a busy shared
+    cluster always has.  This is the workload component-scoped
+    rebalancing targets: an event in one job's churn component must not
+    pay for — or perturb the timers of — the other K-1 jobs or any of
+    the bulk components, while a global recompute pays for every active
+    flow on every event.  Sizes are skewed per (job, endpoint, hop) so
+    completion horizons never align.
+    """
+
+    def bench(cfg) -> Callable[[], None]:
+        chain = cfg["multijob_chain"]
+        bulk = cfg["multijob_bulk"]
+
+        def run() -> None:
+            from repro.cluster.cluster import Cluster
+
+            cluster = Cluster(
+                num_nodes=num_jobs * 8, nodes_per_rack=8, oversubscription=4.0
+            )
+
+            def launch(job: int, src: int, dst: int, hops_left: int) -> None:
+                size = (
+                    1e7
+                    * (1 + ((3 * src + 5 * dst + hops_left) % 7) / 7)
+                    * (1 + job / (2 * num_jobs))
+                )
+
+                def done(_flow) -> None:
+                    if hops_left > 0:
+                        launch(job, dst, src, hops_left - 1)
+
+                cluster.transfer(src, dst, size, "shuffle", done)
+
+            for job in range(num_jobs):
+                base = job * 8
+                for a in range(4):
+                    for b in range(4):
+                        if a != b:
+                            launch(job, base + a, base + b, chain)
+                # Uniform size within a job: the whole bulk component
+                # drains in one batched completion event (skewed per
+                # job so jobs never drain at the same instant).
+                bulk_size = 4e9 * (1 + job / (2 * num_jobs))
+                for i in range(bulk):
+                    pair = i % 12
+                    src = base + 4 + pair // 3
+                    dst = base + 4 + (pair // 3 + 1 + pair % 3) % 4
+                    cluster.transfer(src, dst, bulk_size, "bulk")
+            cluster.run()
+
+        return run
+
+    return bench
+
+
+def _make_concurrent_jobs(num_jobs: int):
+    """K whole MapReduce jobs submitted concurrently to one cluster.
+
+    Each job is a single k-means iteration over its own dataset,
+    launched through ``JobRunner.submit_many``: all K jobs contend for
+    the same map slots, the same simulation clock, and — the point —
+    the same ``FlowNetwork``.  Every job's shuffle lives in its own
+    flow–link component most of the time, so component-scoped
+    rebalancing keeps per-event cost independent of K while the
+    least-granted slot interleaving keeps the jobs genuinely
+    concurrent rather than serialized.
+    """
+
+    def bench(cfg) -> Callable[[], None]:
+        from repro.cluster.cluster import Cluster
+        from repro.dfs.dfs import DistributedFileSystem
+        from repro.mapreduce.records import DistributedDataset
+        from repro.mapreduce.runner import JobRunner
+        from repro.parallel import SerialExecutor
+
+        program, records, model0 = _kmeans_fixture(
+            cfg["concurrent_records"], cfg["k"]
+        )
+        cluster = Cluster(num_nodes=32, nodes_per_rack=8, oversubscription=4.0)
+        dfs = DistributedFileSystem(cluster, replication=2, seed=5)
+        datasets = [
+            DistributedDataset.materialize(
+                dfs, f"/perf/concurrent-{j}", records, num_splits=4
+            )
+            for j in range(num_jobs)
+        ]
+        model_bytes = program.model_bytes(model0)
+        waves = iter(range(1_000_000))
+
+        def run() -> None:
+            runner = JobRunner(cluster, dfs, executor=SerialExecutor())
+            wave = next(waves)
+            runner.run_many([
+                (
+                    # unique name per repeat: output paths must not collide
+                    program.job_spec(suffix=f"-{wave}-{j}"),
+                    datasets[j],
+                    {
+                        "model": model0,
+                        "model_bytes": model_bytes,
+                        "model_locations": (j % cluster.num_nodes,),
+                    },
+                )
+                for j in range(num_jobs)
+            ])
+
+        return run
+
+    return bench
+
+
 def _make_kmeans_bulk(columnar: bool, pipeline: bool = False):
     """One full MapReduce job over ``bulk_points`` k-means records.
 
@@ -423,6 +552,9 @@ BENCHES: dict[str, Callable[[dict], Callable[[], None]]] = {
     "end_to_end_pic": bench_end_to_end_pic,
     "flow_fanout_64": _make_flow_fanout(64),
     "flow_fanout_256": _make_flow_fanout(256),
+    "multijob_flows_16": _make_multijob_flows(16),
+    "multijob_flows_64": _make_multijob_flows(64),
+    "concurrent_pic_16": _make_concurrent_jobs(16),
     "kmeans_500k_columnar": _make_kmeans_bulk(True),
     "kmeans_500k_row": _make_kmeans_bulk(False),
     "kmeans_500k_pipelined": _make_kmeans_bulk(True, pipeline=True),
@@ -439,7 +571,7 @@ BENCHES["solve_parallel_w4"] = _make_solve_parallel(4)
 # Slow tier: heavyweight benches that only run in ``--mode full``.
 # Smoke mode — the CI regression gate — skips them, so they never
 # appear in a smoke baseline and the gate ignores them.
-SLOW_TIER = {"flow_fanout_256"}
+SLOW_TIER = {"flow_fanout_256", "multijob_flows_64"}
 
 
 def run_suite(mode: str) -> dict[str, Any]:

@@ -6,6 +6,14 @@ simulated time; ties are broken by insertion order so runs are fully
 deterministic.  Events can be cancelled (lazy deletion), which the
 flow-level network model relies on to re-plan the next flow completion
 whenever the set of active flows changes.
+
+Long multi-job runs cancel far more events than they execute (every
+flow arrival used to invalidate the standing completion timer), so the
+queue performs *heap hygiene*: the simulation tracks how many cancelled
+events are still sitting in the heap and compacts — filters the dead
+entries out and re-heapifies the survivors — once they outnumber the
+live ones.  Ordering is unaffected because every event carries a unique
+``(time, seq)`` key.
 """
 
 from __future__ import annotations
@@ -13,10 +21,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
+
+# Compaction fires when the heap holds at least this many cancelled
+# events AND they make up more than half the heap.  The floor keeps
+# tiny queues from churning; the fraction bounds wasted memory and the
+# pop-side skip work to a constant factor of the live event count.
+_COMPACT_MIN_DEAD = 64
 
 
-@dataclass(order=True, slots=True)
+@dataclass(slots=True)
 class Event:
     """A scheduled callback.  Ordered by (time, sequence number).
 
@@ -26,12 +40,32 @@ class Event:
 
     time: float
     seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    callback: Callable[[], Any]
+    cancelled: bool = False
+    # Backref to the owning simulation while the event is pending, so
+    # cancel() can maintain the dead-event bookkeeping.  Cleared when
+    # the event is popped; a cancel after execution is then a no-op.
+    owner: Simulation | None = field(default=None, repr=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        # Hand-written instead of dataclass ``order=True``: the heap
+        # compares events constantly and the generated version builds
+        # two tuples per comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
-        """Mark the event so the simulation skips it when popped."""
+        """Mark the event so the simulation skips it when popped.
+
+        Idempotent; cancelling an already-executed event is a no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
+            self.owner = None
 
 
 class Simulation:
@@ -47,6 +81,8 @@ class Simulation:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._cancelled = 0
+        self._dead = 0  # cancelled events still sitting in the heap
 
     @property
     def now(self) -> float:
@@ -57,6 +93,11 @@ class Simulation:
     def events_processed(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of events cancelled before they could execute."""
+        return self._cancelled
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -70,14 +111,44 @@ class Simulation:
             raise ValueError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback)
+        event = Event(time=time, seq=next(self._seq), callback=callback, owner=self)
         heapq.heappush(self._queue, event)
         return event
+
+    def schedule_batch(
+        self, delay: float, callbacks: Iterable[Callable[[], Any]]
+    ) -> Event:
+        """Schedule several callbacks at one instant as a single heap entry.
+
+        The callbacks run back-to-back, in the order given, under one
+        event — a cheap path for same-timestamp bursts (e.g. a wave of
+        flow starts) that would otherwise each pay a heap push/pop.
+        """
+        batch = list(callbacks)
+
+        def _run_batch() -> None:
+            for cb in batch:
+                cb()
+
+        return self.schedule(delay, _run_batch)
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap and restore the invariant."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._dead -= 1
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
@@ -85,9 +156,11 @@ class Simulation:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._now = event.time
             self._processed += 1
+            event.owner = None
             event.callback()
             return True
         return False
@@ -107,9 +180,18 @@ class Simulation:
         """Run all events scheduled at or before ``time``, then set the clock."""
         if time < self._now:
             raise ValueError(f"cannot run backwards to t={time} from t={self._now}")
-        while True:
-            nxt = self.peek_time()
-            if nxt is None or nxt > time:
+        queue = self._queue
+        while queue:
+            event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                self._dead -= 1
+                continue
+            if event.time > time:
                 break
-            self.step()
+            heapq.heappop(queue)
+            self._now = event.time
+            self._processed += 1
+            event.owner = None
+            event.callback()
         self._now = time

@@ -14,21 +14,53 @@ it captures exactly the effect the paper's argument depends on — many
 concurrent shuffle flows contending for scarce rack uplinks — without
 modelling TCP dynamics.
 
+**Component scoping.**  Max-min fairness is separable across connected
+components of the flow–link incidence graph: a saturated link freezes
+only flows crossing it, so the progressive-filling rounds of two
+link-disjoint flow sets never interact and each component's allocation
+is a function of that component alone (the argument is written out in
+``DESIGN.md`` §13).  The network exploits this by maintaining the
+components *incrementally*:
+
+* a union-find over link ids merges components when a new flow's path
+  bridges them (``_attach``);
+* each component record carries its member links, a monotonically
+  issued epoch, and its **own** next-completion timer, so an arrival or
+  departure in one job never cancels or reschedules another job's
+  completion event;
+* arrivals mark only the touched component dirty; the batched
+  zero-delay recompute then advances/refills *dirty components only*,
+  carrying every untouched component's rates (and timer) over;
+* departures may split a component.  Splits are detected lazily from a
+  standing link-pair adjacency count (each flow contributes the
+  consecutive link pairs along its path; a pair dying is the only way
+  link connectivity can change), so the common no-split completion
+  costs no connectivity scan at all.  Each dead pair gets an
+  early-exit reachability probe, and only a genuine disconnection
+  re-partitions that component's links by BFS.
+
+Every per-flow quantity advances on its own clock (``_advanced_at`` per
+row): progress is applied exactly once per elapsed interval, when the
+owning component is next touched, which keeps the arithmetic identical
+whether or not unrelated jobs generated events in between.
+
 Internally the active set is **structure-of-arrays** state: ``remaining``
-bytes, current ``rate``, completion epsilon, and the padded link-id
-incidence matrix live in standing NumPy arrays indexed by a dense row
-number.  Rows are added at the end and removed by swapping the last row
-into the hole, so flow add/remove is O(1) amortized, and every per-event
-operation (progress advance, horizon planning, completion scan) is a
-vectorized pass over ``[:n]`` slices with no per-flow Python loops.  A
-standing link → flow incidence (per-link row arrays, also maintained
-incrementally) lets each progressive-filling round touch only the links
-it saturates and the flows it freezes, instead of rescanning the active
-set.  All completions landing at the same horizon drain in a single
-event.  The arithmetic is element-for-element the same IEEE operations
-the per-object implementation performed, so simulated seconds and byte
-accounting are bit-identical (see ``tests/cluster/reference_flows.py``
-and ``tests/cluster/test_flow_equivalence.py``).
+bytes, current ``rate``, completion epsilon, advancement clock, flow id,
+and the padded link-id incidence matrix live in standing NumPy arrays
+indexed by a dense row number.  Rows are added at the end and removed by
+swapping the last row into the hole, so flow add/remove is O(1)
+amortized, and every per-event operation (progress advance, horizon
+planning, completion scan) is a vectorized pass over the touched
+component's rows with no per-flow Python loops.  A standing link → flow
+incidence (per-link row arrays, also maintained incrementally) lets each
+progressive-filling round touch only the links it saturates and the
+flows it freezes.  All completions landing at the same horizon in the
+same component drain in a single event.  The arithmetic is
+element-for-element the same IEEE operations the per-object
+implementation performs on the same component-local operands, so
+simulated seconds and byte accounting are bit-identical (see
+``tests/cluster/reference_flows.py`` and
+``tests/cluster/test_flow_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -64,6 +96,19 @@ FlowRequest = Sequence
 
 # Initial row capacity of the structure-of-arrays state.
 _INITIAL_ROWS = 64
+
+# Components with at most this many rows are serviced by scalar
+# (pure-Python) loops; bigger ones take the vectorized path.  Both
+# perform the exact same IEEE operations element-for-element, so the
+# threshold is a pure performance knob with no observable effect — it
+# exists because a 12-flow component pays more in NumPy call overhead
+# than in arithmetic.
+_SMALL_ROWS = 32
+
+# Same idea for the incidence-entry count when collecting a component's
+# rows (entries bound rows from above, so this can be tested before the
+# row set is known).
+_SMALL_ENTRIES = 128
 
 
 def completion_eps(size: float) -> float:
@@ -149,6 +194,28 @@ class Flow:
         )
 
 
+class _Component:
+    """One connected component of the active flow–link incidence graph.
+
+    Substrate-private: identified by its union-find root link id, owning
+    its member-link list, a stale-timer epoch, and the component's next
+    completion event.  Only :class:`FlowNetwork` may touch these.
+    """
+
+    __slots__ = ("root", "links", "epoch", "timer", "advanced")
+
+    def __init__(self, root: int, links: list[int], epoch: int) -> None:
+        self.root = root
+        self.links = links
+        self.epoch = epoch
+        self.timer: Event | None = None
+        # Last simulated time at which every member row's progress was
+        # applied, or -inf when unknown (e.g. right after a merge).
+        # Lets a same-instant re-advance be skipped outright — advancing
+        # a row over a zero-length interval is the identity.
+        self.advanced = -math.inf
+
+
 class FlowNetwork:
     """Tracks active flows on a topology and advances them on the DES clock."""
 
@@ -159,8 +226,6 @@ class FlowNetwork:
         self.topology = topology
         self.meter = meter if meter is not None else TrafficMeter()
         self._ids = itertools.count()
-        self._last_update = sim.now
-        self._completion_event: Event | None = None
         self._recompute_event: Event | None = None
         self._capacities = np.array(
             [link.capacity for link in topology.links], dtype=float
@@ -178,6 +243,11 @@ class FlowNetwork:
         self._remaining = np.zeros(_INITIAL_ROWS)
         self._rate = np.zeros(_INITIAL_ROWS)
         self._eps = np.zeros(_INITIAL_ROWS)
+        # Per-row advancement clock: the last simulated time at which
+        # this row's progress was applied.  Rows advance lazily, when
+        # their component is next touched.
+        self._advanced_at = np.zeros(_INITIAL_ROWS)
+        self._flow_ids = np.zeros(_INITIAL_ROWS, dtype=np.int64)
         self._link_ids = np.full(
             (_INITIAL_ROWS, MAX_PATH_LINKS), self._num_links, dtype=np.int64
         )
@@ -199,6 +269,29 @@ class FlowNetwork:
         ]
         self._link_sizes: list[int] = [0] * (self._num_links + 1)
         self._pos = np.zeros((_INITIAL_ROWS, MAX_PATH_LINKS), dtype=np.int64)
+        # Scratch freeze flags for progressive filling, indexed by row;
+        # reset only for the refilled component's rows on entry.
+        self._frozen = np.zeros(_INITIAL_ROWS, dtype=bool)
+        # Scratch membership mask for row collection; always False
+        # outside `_component_rows` (set and reset within the call).
+        self._member = np.zeros(_INITIAL_ROWS, dtype=bool)
+        # -- component tracking (substrate-private) --------------------
+        # Union-find parent per link id; roots key the component map.
+        self._uf_parent: list[int] = list(range(self._num_links))
+        self._comp: dict[int, _Component] = {}
+        self._comp_epochs = itertools.count()
+        # Links (any member) whose components need an advance + refill
+        # at the next batched recompute.
+        self._dirty_links: set[int] = set()
+        # Link-pair adjacency counts: ``_adj[a][b]`` is the number of
+        # active flows whose paths traverse ``a`` and ``b`` back to
+        # back (a chain per path, which preserves exactly link
+        # connectivity).  A pair count reaching zero is the only way a
+        # component can lose connectivity; each death is recorded in
+        # ``_dead_pairs`` and its endpoints get a cheap early-exit
+        # reachability test before the full BFS re-partition runs.
+        self._adj: list[dict[int, int]] = [{} for _ in range(self._num_links)]
+        self._dead_pairs: list[tuple[int, int]] = []
 
     @property
     def active_flows(self) -> list[Flow]:
@@ -287,15 +380,40 @@ class FlowNetwork:
             self.sim.schedule(0.0, lambda: self._finish(flow))
             return flow
 
-        self._advance_progress()
         self._attach(flow, route)
         return flow
 
     def _do_recompute(self) -> None:
+        """Advance + refill + re-plan every dirty component.
+
+        Runs as the batched zero-delay event after a wave of arrivals.
+        With nothing marked dirty (a direct call, e.g. from tests that
+        force recompute churn) it refreshes *all* components, which is
+        the old global-recompute behaviour.
+        """
         self._recompute_event = None
-        self._advance_progress()
-        self._recompute_rates()
-        self._replan()
+        if self._dirty_links:
+            roots = {self._find(link) for link in self._dirty_links}
+            self._dirty_links.clear()
+        else:
+            roots = set(self._comp.keys())
+        planned: list[tuple[int, _Component, list[int] | np.ndarray]] = []
+        for root in sorted(roots):
+            comp = self._comp.get(root)
+            if comp is None:
+                continue
+            rows = self._component_rows(comp)
+            if len(rows) == 0:  # pragma: no cover - defensive
+                continue
+            planned.append((self._min_flow_id(rows), comp, rows))
+        # Canonical processing order — ascending min flow id — keeps the
+        # timer (re)arming sequence, and therefore same-instant event
+        # order, identical to the reference implementation.
+        planned.sort(key=lambda item: item[0])
+        for _, comp, rows in planned:
+            self._advance_component(comp, rows)
+            self._refill_component(comp, rows)
+            self._plan_component(comp, rows)
 
     def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
         """Uncontended transfer time (for cost estimation, not simulation)."""
@@ -315,6 +433,8 @@ class FlowNetwork:
         self._remaining[i] = flow._remaining
         self._rate[i] = 0.0
         self._eps[i] = completion_eps(flow.size)
+        self._advanced_at[i] = self.sim.now
+        self._flow_ids[i] = flow.flow_id
         self._link_ids[i] = route.padded_ids
         ptuple = route.padded_tuple
         flow._ptuple = ptuple
@@ -337,6 +457,7 @@ class FlowNetwork:
         self._row_flows[i] = flow
         flow._row = i
         self._n = i + 1
+        self._join_components(ptuple)
 
     def _detach(self, flow: Flow) -> None:
         """Release ``flow``'s row, compacting by swapping the last row in."""
@@ -366,11 +487,14 @@ class FlowNetwork:
                 cols[p] = moved_col
                 pos[moved_row, moved_col] = p
             link_sizes[link] = size
+        self._drop_pairs(flow._ptuple)
         last = self._n - 1
         if i != last:
             self._remaining[i] = self._remaining[last]
             self._rate[i] = self._rate[last]
             self._eps[i] = self._eps[last]
+            self._advanced_at[i] = self._advanced_at[last]
+            self._flow_ids[i] = self._flow_ids[last]
             self._link_ids[i] = self._link_ids[last]
             self._pos[i] = self._pos[last]
             moved = self._row_flows[last]
@@ -390,16 +514,21 @@ class FlowNetwork:
     def _grow(self) -> None:
         old = len(self._row_flows)
         new = 2 * old
-        for name in ("_remaining", "_rate", "_eps"):
+        for name in ("_remaining", "_rate", "_eps", "_advanced_at"):
             grown = np.zeros(new)
             grown[:old] = getattr(self, name)
             setattr(self, name, grown)
+        fids = np.zeros(new, dtype=np.int64)
+        fids[:old] = self._flow_ids
+        self._flow_ids = fids
         lids = np.full((new, MAX_PATH_LINKS), self._num_links, dtype=np.int64)
         lids[:old] = self._link_ids
         self._link_ids = lids
         grown_pos = np.zeros((new, MAX_PATH_LINKS), dtype=np.int64)
         grown_pos[:old] = self._pos
         self._pos = grown_pos
+        self._frozen = np.zeros(new, dtype=bool)
+        self._member = np.zeros(new, dtype=bool)
         self._row_flows.extend([None] * (new - old))
 
     def _grow_link(self, link: int) -> np.ndarray:
@@ -414,68 +543,386 @@ class FlowNetwork:
         return grown
 
     # ------------------------------------------------------------------
+    # component tracking
+
+    def _find(self, link: int) -> int:
+        """Union-find root of ``link``, with path compression."""
+        parent = self._uf_parent
+        root = link
+        while parent[root] != root:
+            root = parent[root]
+        while parent[link] != root:
+            parent[link], link = root, parent[link]
+        return root
+
+    def _join_components(self, ptuple: tuple[int, ...]) -> None:
+        """Register a new flow's path: pair counts, unions, dirty mark.
+
+        The path's links are welded into one component (merging records
+        small-into-large; absorbed timers are cancelled — the merged
+        component is refilled and re-armed by the pending recompute).
+        """
+        sentinel = self._num_links
+        first = ptuple[0]
+        adj = self._adj
+        prev = first
+        for k in range(1, MAX_PATH_LINKS):
+            link = ptuple[k]
+            if link == sentinel:
+                break
+            adj_prev = adj[prev]
+            adj_prev[link] = adj_prev.get(link, 0) + 1
+            adj_link = adj[link]
+            adj_link[prev] = adj_link.get(prev, 0) + 1
+            prev = link
+        comps = self._comp
+        parent = self._uf_parent
+        root = self._find(first)
+        comp = comps.get(root)
+        if comp is None:
+            comp = _Component(root, [root], next(self._comp_epochs))
+            comps[root] = comp
+        for k in range(1, MAX_PATH_LINKS):
+            link = ptuple[k]
+            if link == sentinel:
+                break
+            other_root = self._find(link)
+            if other_root == root:
+                continue
+            other = comps.get(other_root)
+            if other is None:
+                # A fresh (or previously emptied) link: adopt it.
+                parent[other_root] = root
+                comp.links.append(other_root)
+                continue
+            # Merge the smaller record into the larger one.
+            if len(other.links) > len(comp.links):
+                comp, other = other, comp
+                root, other_root = other_root, root
+            parent[other_root] = root
+            comp.links.extend(other.links)
+            if other.advanced < comp.advanced:
+                comp.advanced = other.advanced
+            if other.timer is not None:
+                other.timer.cancel()
+                other.timer = None
+            del comps[other_root]
+        self._dirty_links.add(first)
+
+    def _drop_pairs(self, ptuple: tuple[int, ...]) -> None:
+        """Release a detaching flow's link-pair counts."""
+        sentinel = self._num_links
+        adj = self._adj
+        prev = ptuple[0]
+        for k in range(1, MAX_PATH_LINKS):
+            link = ptuple[k]
+            if link == sentinel:
+                break
+            adj_prev = adj[prev]
+            count = adj_prev[link] - 1
+            if count:
+                adj_prev[link] = count
+                adj[link][prev] = count
+            else:
+                del adj_prev[link]
+                del adj[link][prev]
+                self._dead_pairs.append((prev, link))
+            prev = link
+
+    def _component_rows(self, comp: _Component) -> list[int] | np.ndarray:
+        """Sorted active rows of ``comp`` (from the link segments).
+
+        Small components come back as plain Python lists (their
+        consumers are the scalar code paths, which would only convert
+        an array right back); large ones as int64 arrays.
+        """
+        if len(self._comp) == 1:
+            # Every active fabric flow belongs to some component, so a
+            # lone component owns every row.
+            return np.arange(self._n, dtype=np.int64)
+        link_rows = self._link_rows
+        link_sizes = self._link_sizes
+        entries = 0
+        for link in comp.links:
+            entries += link_sizes[link]
+        if entries <= _SMALL_ENTRIES:
+            seen: set[int] = set()
+            for link in comp.links:
+                size = link_sizes[link]
+                if size:
+                    seen.update(link_rows[link][:size].tolist())
+            if len(seen) <= _SMALL_ROWS:
+                return sorted(seen)
+            return np.array(sorted(seen), dtype=np.int64)
+        segments = [
+            link_rows[link][: link_sizes[link]]
+            for link in comp.links
+            if link_sizes[link] > 0
+        ]
+        flat = segments[0] if len(segments) == 1 else np.concatenate(segments)
+        # Dedupe through the scratch mask: much cheaper than np.unique's
+        # hash/sort and yields the same sorted row order via nonzero.
+        member = self._member
+        member[flat] = True
+        rows = np.nonzero(member[: self._n])[0]
+        member[flat] = False
+        return rows
+
+    def _min_flow_id(self, rows: list[int] | np.ndarray) -> int:
+        """Smallest flow id among ``rows`` (the canonical-order key)."""
+        if isinstance(rows, list):
+            flow_ids = self._flow_ids
+            return int(min(flow_ids[row] for row in rows))
+        return int(self._flow_ids[rows].min())
+
+    def _still_connected(self, a: int, b: int) -> bool:
+        """Exact reachability of ``b`` from ``a`` in the link-pair graph.
+
+        Early-exits the moment ``b`` is seen, so in well-connected
+        components (where most pair deaths change nothing) this touches
+        a couple of adjacency lists instead of the whole component.
+        """
+        adj = self._adj
+        seen = {a}
+        frontier = [a]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adj[node]:
+                if neighbour == b:
+                    return True
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return False
+
+    def _split_component(self, comp: _Component) -> None:
+        """Re-partition ``comp``'s records after departures broke a pair.
+
+        BFS over the surviving link-pair adjacency discovers the
+        sub-components; emptied links revert to singleton union-find
+        roots.  Each sub-component gets a fresh record (new epoch, so
+        any stale timer is disarmed) and is marked dirty — the batched
+        recompute refills and re-plans them in canonical order.
+        """
+        del self._comp[comp.root]
+        parent = self._uf_parent
+        link_sizes = self._link_sizes
+        adj = self._adj
+        dirty = self._dirty_links
+        visited: set[int] = set()
+        for link in comp.links:
+            if link in visited:
+                continue
+            visited.add(link)
+            if link_sizes[link] == 0:
+                # Dead link: no flows, hence no pairs; detach it.
+                parent[link] = link
+                continue
+            group = [link]
+            stack = [link]
+            while stack:
+                node = stack.pop()
+                for neighbour in adj[node]:
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        group.append(neighbour)
+                        stack.append(neighbour)
+            root = min(group)
+            for member in group:
+                parent[member] = root
+            sub = _Component(root, group, next(self._comp_epochs))
+            sub.advanced = comp.advanced
+            self._comp[root] = sub
+            dirty.add(root)
+
+    # ------------------------------------------------------------------
     # internals
 
-    def _advance_progress(self) -> None:
-        """Apply each flow's current rate over the elapsed interval."""
+    def _advance_component(
+        self, comp: _Component, rows: list[int] | np.ndarray
+    ) -> None:
+        """Advance ``comp``'s rows, skipping a same-instant re-advance.
+
+        The skip is a pure shortcut: advancing over a zero-length
+        interval subtracts ``rate * 0.0`` and is bit-for-bit the
+        identity, so the reference implementation may advance
+        unconditionally and still agree.
+        """
         now = self.sim.now
-        dt = now - self._last_update
-        n = self._n
-        if dt > 0 and n:
-            rem = self._remaining[:n]
-            np.subtract(rem, self._rate[:n] * dt, out=rem)
+        if comp.advanced == now:
+            return
+        self._advance_rows(rows)
+        comp.advanced = now
+
+    def _advance_rows(self, rows: list[int] | np.ndarray) -> None:
+        """Apply each row's current rate since its last advancement.
+
+        Three equivalent code paths (scalar, full-slice, gather) — all
+        compute ``max(0, remaining - rate*(now - advanced_at))`` with
+        the same IEEE operations per row.
+        """
+        now = self.sim.now
+        remaining = self._remaining
+        rate = self._rate
+        advanced_at = self._advanced_at
+        if isinstance(rows, list):
+            for row in rows:
+                value = remaining[row] - rate[row] * (now - advanced_at[row])
+                remaining[row] = value if value > 0.0 else 0.0
+                advanced_at[row] = now
+            return
+        size = rows.size
+        if size == 0:  # pragma: no cover - defensive
+            return
+        if size == self._n:
+            rem = remaining[:size]
+            rem -= rate[:size] * (now - advanced_at[:size])
             np.maximum(rem, 0.0, out=rem)
-        self._last_update = now
+            advanced_at[:size] = now
+            return
+        rem = remaining[rows]
+        rem -= rate[rows] * (now - advanced_at[rows])
+        np.maximum(rem, 0.0, out=rem)
+        remaining[rows] = rem
+        advanced_at[rows] = now
 
-    def _recompute_rates(self) -> None:
-        """Progressive-filling max-min fair rate allocation (vectorized).
+    def _refill_component(
+        self, comp: _Component, rows: list[int] | np.ndarray
+    ) -> None:
+        """Progressive-filling max-min fair rates, scoped to one component.
 
-        The standing ``(n, MAX_PATH_LINKS)`` link-id matrix is maintained
-        incrementally by :meth:`_attach`/:meth:`_detach`; each filling
-        round works on a *compacted* view of the still-unfrozen flows, so
-        per-round cost shrinks as flows freeze (in an all-to-all fan-out
-        the cross-rack majority freezes in the first rounds).  Per-link
-        flow counts are maintained by subtraction as flows freeze rather
-        than recounted, and a flow's rate is written exactly once — the
-        cumulative fill level at the round it froze — instead of being
-        incremented every round.
+        Dispatches between a scalar and a vectorized path on component
+        size; both perform the same component-local IEEE operations.
+        The fill level is the same left-to-right sum of the same
+        component-local round deltas the textbook formulation
+        accumulates per flow, and the counts/residual updates are the
+        same integer/IEEE operations, so the resulting rates are
+        bit-identical to the reference implementation
+        (``tests/cluster/reference_flows.py``).
+
+        Every flow crossing a member link belongs to the component (that
+        is what a component *is*), so the global per-link segment sizes
+        double as the component-local counts.
+        """
+        if isinstance(rows, list):
+            self._refill_small(comp, rows)
+        else:
+            self._refill_large(comp, rows)
+
+    def _refill_small(self, comp: _Component, rows: list[int]) -> None:
+        """Scalar progressive filling for small components.
+
+        Same round structure as :meth:`_refill_large` — uniform fill
+        until a link saturates, freeze its flows at the cumulative fill
+        level, drop the link, repeat on the residual — with plain
+        Python loops, because a handful of rows costs more in NumPy
+        call overhead than in arithmetic.
+        """
+        link_sizes = self._link_sizes
+        link_rows = self._link_rows
+        occupied = sorted(link for link in comp.links if link_sizes[link] > 0)
+        capacities = self._capacities
+        all_thresholds = self._thresholds
+        residual = [float(capacities[link]) for link in occupied]
+        thresholds = [float(all_thresholds[link]) for link in occupied]
+        counts = [link_sizes[link] for link in occupied]
+        local_of = {link: j for j, link in enumerate(occupied)}
+        rate = self._rate
+        row_flows = self._row_flows
+        sentinel = self._num_links
+        total = len(rows)
+        frozen: set[int] = set()
+        alive = list(range(len(occupied)))
+        fill = 0.0
+        while alive:
+            delta = math.inf
+            for j in alive:
+                count = counts[j]
+                if count > 0:
+                    ratio = residual[j] / count
+                    if ratio < delta:
+                        delta = ratio
+            fill += delta
+            saturated = []
+            for j in alive:
+                count = counts[j]
+                if count:
+                    residual[j] -= delta * count
+                if residual[j] <= thresholds[j]:
+                    saturated.append(j)
+            if not saturated:
+                break
+            newly: list[int] = []
+            for j in saturated:
+                link = occupied[j]
+                for row in link_rows[link][: link_sizes[link]].tolist():
+                    if row not in frozen:
+                        frozen.add(row)
+                        newly.append(row)
+            if not newly:  # pragma: no cover - numeric corner
+                break
+            for row in newly:
+                rate[row] = fill
+            if len(frozen) == total:
+                return
+            for row in newly:
+                flow = row_flows[row]
+                assert flow is not None
+                for link in flow._ptuple:
+                    if link == sentinel:
+                        break
+                    counts[local_of[link]] -= 1
+            dropped = set(saturated)
+            alive = [j for j in alive if j not in dropped]
+        for row in rows:
+            if row not in frozen:
+                rate[row] = fill
+
+    def _refill_large(self, comp: _Component, rows: np.ndarray) -> None:
+        """Vectorized progressive filling (the compacting scheme).
+
+        Each filling round works on a *compacted* view of the
+        still-unfrozen links, per-link flow counts are maintained by
+        subtraction as flows freeze rather than recounted, and a flow's
+        rate is written exactly once — the cumulative fill level at the
+        round it froze.
 
         Saturation flags accumulate across rounds: once a link saturates
         every unfrozen flow crossing it freezes in that same round, so no
-        surviving flow can ever touch a previously saturated link and the
-        cumulative flags select exactly this round's freezes.
-
-        The fill level is the same left-to-right sum of the same round
-        deltas the textbook formulation accumulates per flow, and the
-        counts/residual updates are the same integer/IEEE operations, so
-        the resulting rates are bit-identical to the reference
-        implementation (``tests/cluster/reference_flows.py``).
+        surviving flow can ever touch a previously saturated link.
         """
-        n = self._n
-        if n == 0:
-            return
-        rate = self._rate[:n]
-        num_links = self._num_links
-        link_ids = self._link_ids[:n]
-        link_rows = self._link_rows
         link_sizes = self._link_sizes
+        num_links = self._num_links
+        # Global-width count array (one C call), with the active view
+        # restricted to the component's occupied links.  Entries for
+        # other components' links stay nonzero but are never read: the
+        # freeze loop and the bincount decrement only ever touch member
+        # links (every flow on a member link belongs to the component).
         # ``counts[num_links]`` is the sentinel slot absorbing padded
-        # link ids; it is written but never read.  Active-link state is
-        # kept compacted: links drop out permanently once saturated.
+        # link ids; written, never read.
         counts = np.array(link_sizes, dtype=np.int64)
-        active = np.nonzero(counts[:num_links])[0]
+        members = np.array(comp.links, dtype=np.int64)
+        active = np.sort(members[counts[members] > 0])
         residual = self._capacities[active]
         thresholds = self._thresholds[active]
         active_counts = counts[active]
-        frozen = np.zeros(n, dtype=bool)
-        unfrozen = n
+        link_ids = self._link_ids
+        link_rows = self._link_rows
+        rate = self._rate
+        frozen = self._frozen
+        full = len(rows) == self._n
+        if full:
+            frozen[: self._n] = False
+        else:
+            frozen[rows] = False
+        unfrozen = len(rows)
         fill = 0.0
         # A link whose flows all froze through *other* links keeps a
         # zero count; its inf ratio never wins the min and it can never
         # saturate afterwards, so it may idle in the active arrays.
         with np.errstate(divide="ignore"):
-            for _round in range(num_links + 1):
-                if active.size == 0:
+            for _round in range(active.size + 1):
+                if active.size == 0:  # pragma: no cover - numeric corner
                     break
                 delta = float((residual / active_counts).min())
                 fill += delta
@@ -517,51 +964,115 @@ class FlowNetwork:
                 thresholds = thresholds[keep]
                 active_counts = counts[active]
         # Whatever never froze runs at the final fill level.
-        rate[~frozen] = fill
+        if full:
+            n = self._n
+            rate[:n][~frozen[:n]] = fill
+        else:
+            rate[rows[~frozen[rows]]] = fill
 
-    def _replan(self) -> None:
-        """Schedule the internal event for the earliest flow completion."""
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
-        n = self._n
-        if n == 0:
+    def _plan_component(
+        self, comp: _Component, rows: list[int] | np.ndarray
+    ) -> None:
+        """Arm ``comp``'s next-completion timer from its current rates."""
+        if comp.timer is not None:
+            comp.timer.cancel()
+            comp.timer = None
+        if isinstance(rows, list):
+            remaining = self._remaining
+            rate = self._rate
+            horizon = math.inf
+            for row in rows:
+                row_rate = rate[row]
+                if row_rate > 0:
+                    candidate = remaining[row] / row_rate
+                    if candidate < horizon:
+                        horizon = candidate
+            horizon = float(horizon)
+        else:
+            if rows.size == self._n:
+                rates = self._rate[: self._n]
+                remainings = self._remaining[: self._n]
+            else:
+                rates = self._rate[rows]
+                remainings = self._remaining[rows]
+            positive = rates > 0
+            if not positive.any():
+                raise RuntimeError(
+                    "active flows exist but none has a positive rate; "
+                    "the rate allocation is wedged"
+                )
+            horizon = float(np.min(remainings[positive] / rates[positive]))
+        if not math.isfinite(horizon):
+            raise RuntimeError(
+                "active flows exist but none has a positive rate; "
+                "the rate allocation is wedged"
+            )
+        root = comp.root
+        epoch = comp.epoch
+        self._arm_component_timer(
+            comp, horizon, lambda: self._on_component_completion(root, epoch)
+        )
+
+    def _arm_component_timer(
+        self, comp: _Component, horizon: float, on_fire: Callable[[], None]
+    ) -> None:
+        """Schedule ``on_fire`` as ``comp``'s completion continuation."""
+        comp.timer = self.sim.schedule(horizon, on_fire)
+
+    def _on_component_completion(self, root: int, epoch: int) -> None:
+        comp = self._comp.get(root)
+        if comp is None or comp.epoch != epoch:  # pragma: no cover - stale
             return
-        rate = self._rate[:n]
-        positive = rate > 0
-        if not positive.any():
-            raise RuntimeError(
-                "active flows exist but none has a positive rate; "
-                "the rate allocation is wedged"
-            )
-        horizon = float(np.min(self._remaining[:n][positive] / rate[positive]))
-        if not math.isfinite(horizon):  # pragma: no cover - defensive
-            raise RuntimeError(
-                "active flows exist but none has a positive rate; "
-                "the rate allocation is wedged"
-            )
-        self._completion_event = self.sim.schedule(horizon, self._on_completion)
-
-    def _on_completion(self) -> None:
-        self._completion_event = None
-        self._advance_progress()
-        n = self._n
-        # Drain *every* flow that reached its completion threshold at
-        # this horizon in one event (same-horizon batching): one scan,
-        # one rate recompute, one replan for the whole batch.
-        done_rows = np.nonzero(self._remaining[:n] <= self._eps[:n])[0]
+        comp.timer = None
+        rows = self._component_rows(comp)
+        self._advance_component(comp, rows)
+        # Drain *every* flow of this component that reached its
+        # completion threshold at this horizon in one event
+        # (same-horizon batching): one scan, one refill, one replan for
+        # the whole batch — without touching any other component.
+        remaining = self._remaining
+        eps = self._eps
+        if isinstance(rows, list):
+            done_rows = [row for row in rows if remaining[row] <= eps[row]]
+        elif rows.size == self._n:
+            n = self._n
+            done_rows = np.nonzero(remaining[:n] <= eps[:n])[0].tolist()
+        else:
+            done_rows = rows[remaining[rows] <= eps[rows]].tolist()
         finished: list[Flow] = []
         for i in done_rows:
             flow = self._row_flows[i]
             assert flow is not None
             finished.append(flow)
         finished.sort(key=lambda f: f.flow_id)
+        self._dead_pairs.clear()
         for flow in finished:
             self._detach(flow)
+        if len(finished) == len(rows):
+            # The whole component drained; release its links.
+            parent = self._uf_parent
+            for link in comp.links:
+                parent[link] = link
+            del self._comp[root]
+        else:
+            if any(
+                not self._still_connected(a, b) for a, b in self._dead_pairs
+            ):
+                # A dead pair actually disconnected the link graph;
+                # re-partition the records (bookkeeping only).
+                self._split_component(comp)
+            else:
+                self._dirty_links.add(comp.root)
+            # Survivors are refilled + re-planned by the batched
+            # zero-delay recompute, not inline: completion callbacks run
+            # first and often start successor flows at this same
+            # instant, and deferring folds their arrival into the same
+            # single refill.  No simulated time passes in between, so
+            # the arithmetic is unchanged.
+            if self._recompute_event is None:
+                self._recompute_event = self.sim.schedule(0.0, self._do_recompute)
         for flow in finished:
             self._finish(flow)
-        self._recompute_rates()
-        self._replan()
 
     def _finish(self, flow: Flow) -> None:
         flow.remaining = 0.0

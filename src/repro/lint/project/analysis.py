@@ -39,6 +39,7 @@ from typing import Any, Iterable
 
 from repro.lint.project.graph import (
     SUBSTRATE_NAMES,
+    SUBSTRATE_PRIVATE_LEAVES,
     ProjectGraph,
 )
 
@@ -124,7 +125,16 @@ _METH_SHALLOW = frozenset({"copy", "tolist", "most_common"})
 #: ``on_ready`` is the SplitGate registrar — its callbacks fire from
 #: flow completions (or inline at registration when the split is
 #: already ready), so they carry the same no-sync-invoke contract.
-_FLOW_POSITIONAL = {"transfer": 4, "start_flow": 4, "on_ready": 1}
+#: ``_arm_component_timer`` is the per-component completion-timer
+#: registrar: its callback fires from the event loop when the soonest
+#: flow in one component finishes, so it is a continuation like any
+#: ``transfer`` callback.
+_FLOW_POSITIONAL = {
+    "transfer": 4,
+    "start_flow": 4,
+    "on_ready": 1,
+    "_arm_component_timer": 2,
+}
 _FLOW_BATCH = frozenset({"transfer_batch", "start_flows"})
 _FLOW_KW_ONLY = frozenset({"write", "read"})
 #: Event/slot registration primitives: callbacks become *event
@@ -338,7 +348,11 @@ class _Evaluator:
             recv_type = None
         typed = self.graph.is_substrate_class(recv_type)
         named = any(n in SUBSTRATE_NAMES for n in names)
-        if typed or named:
+        # Leaf-based: partition-maintenance state is substrate-private
+        # no matter what the receiver is called — ``flows._dirty_links``
+        # through an unconventional alias is still a PIC402 write.
+        private_leaf = leaf in SUBSTRATE_PRIVATE_LEAVES and names != ["self"]
+        if typed or named or private_leaf:
             self.summary.substrate_writes.append(
                 [line, col, ".".join(names + [leaf])]
             )

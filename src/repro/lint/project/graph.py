@@ -39,6 +39,17 @@ SUBSTRATE_NAMES = frozenset(
     {"sim", "simulation", "cluster", "network", "net", "meter", "dfs", "namenode"}
 )
 
+#: Attribute names of the flow network's partition-maintenance state —
+#: the link union-find, component table, dirty-set and link adjacency.
+#: Writing any of these from outside the owning class corrupts the
+#: incremental-rebalancing invariants (a stale ``_uf_parent`` entry or
+#: an unmarked dirty link silently freezes a component's rates), so a
+#: write to one of these leaves is substrate-private *regardless* of
+#: what the receiver happens to be called (PIC402).
+SUBSTRATE_PRIVATE_LEAVES = frozenset(
+    {"_uf_parent", "_comp", "_dirty_links", "_adj", "_dead_pairs"}
+)
+
 
 def module_name_for_path(path: Path) -> tuple[str | None, bool]:
     """Dotted module name of ``path`` by walking up ``__init__.py`` files.

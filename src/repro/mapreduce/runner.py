@@ -86,6 +86,9 @@ class JobRunner:
         self._reduce_capacity = {
             n.node_id: n.spec.reduce_slots for n in cluster.nodes
         }
+        # Reduce tasks are pinned to a node; parked retries wait here so
+        # a release by *any* job wakes the oldest waiter on that node.
+        self._reduce_waiters: dict[int, list[Callable[[], None]]] = {}
         self._job_seq = itertools.count()
 
     def run(
@@ -102,6 +105,11 @@ class JobRunner:
         model_gate: SplitGate | None = None,
     ) -> JobResult:
         """Execute ``spec`` over ``dataset`` and return measured results.
+
+        Equivalent to one :meth:`submit` followed by running the
+        simulation to quiescence; use :meth:`submit_many` /
+        :meth:`run_many` to drive several jobs through the shared
+        cluster concurrently.
 
         ``model``/``model_bytes``/``model_locations`` describe the
         current model: the object handed to tasks, its serialized size,
@@ -132,6 +140,36 @@ class JobRunner:
         sub-model scatter — instead of the caller draining the event
         queue before submitting the job.
         """
+        handle = self.submit(
+            spec, dataset, model, model_bytes, model_locations, input_cached,
+            model_mode, failures, speculative, model_gate,
+        )
+        self.cluster.run()
+        return handle.result()
+
+    # -- concurrent submission ------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec,
+        dataset: DistributedDataset,
+        model: Any = None,
+        model_bytes: int = 0,
+        model_locations: tuple[int, ...] = (0,),
+        input_cached: bool = False,
+        model_mode: str = "broadcast",
+        failures: dict[int, int] | None = None,
+        speculative: bool = False,
+        model_gate: SplitGate | None = None,
+    ) -> "JobHandle":
+        """Launch a job without draining the event queue.
+
+        The job starts competing for slots and fabric bandwidth as soon
+        as the simulation runs; call :meth:`JobHandle.result` after the
+        cluster quiesces.  Concurrent submissions interleave fairly:
+        each carries its job index as the scheduler ``app_id``, so slot
+        grants go to the least-granted job first.
+        """
         if model_mode not in ("broadcast", "partitioned"):
             raise ValueError(
                 f"model_mode must be 'broadcast' or 'partitioned', got {model_mode!r}"
@@ -140,24 +178,78 @@ class JobRunner:
                           model_locations, input_cached, next(self._job_seq),
                           model_mode, failures or {}, speculative, model_gate)
         state.launch()
+        return JobHandle(state)
+
+    def submit_many(
+        self, submissions: "list[tuple[JobSpec, DistributedDataset] | tuple[JobSpec, DistributedDataset, dict[str, Any]]]"
+    ) -> "list[JobHandle]":
+        """Submit several jobs at once against the shared cluster.
+
+        Each submission is ``(spec, dataset)`` or
+        ``(spec, dataset, kwargs)`` with :meth:`submit` keyword
+        arguments.  All jobs share the simulation clock, the flow
+        network, and the slot/container schedulers.
+        """
+        handles = []
+        for submission in submissions:
+            if len(submission) == 2:
+                spec, dataset = submission  # type: ignore[misc]
+                kwargs: dict[str, Any] = {}
+            else:
+                spec, dataset, kwargs = submission  # type: ignore[misc]
+            handles.append(self.submit(spec, dataset, **kwargs))
+        return handles
+
+    def run_many(
+        self, submissions: "list[tuple[JobSpec, DistributedDataset] | tuple[JobSpec, DistributedDataset, dict[str, Any]]]"
+    ) -> list[JobResult]:
+        """Submit several jobs, run the cluster to quiescence, and
+        return their results in submission order."""
+        handles = self.submit_many(submissions)
         self.cluster.run()
-        return state.finish()
+        return [handle.result() for handle in handles]
 
     # -- reduce slot management (pinned to a node, FIFO waves) ----------
 
-    def try_acquire_reduce(self, node_id: int) -> bool:
+    def try_acquire_reduce(self, node_id: int, app_id: int = 0) -> bool:
         """Claim a reduce slot on ``node_id`` if one is free."""
         if self._reduce_capacity[node_id] > 0:
             self._reduce_capacity[node_id] -= 1
             return True
         return False
 
-    def release_reduce(self, node_id: int) -> None:
+    def release_reduce(self, node_id: int, app_id: int = 0) -> None:
         """Return a reduce slot on ``node_id``."""
         limit = self.cluster.nodes[node_id].spec.reduce_slots
         if self._reduce_capacity[node_id] >= limit:
             raise RuntimeError(f"reduce slot over-release on node {node_id}")
         self._reduce_capacity[node_id] += 1
+        self._notify_reduce_waiter(node_id)
+
+    def wait_for_reduce(self, node_id: int, retry: Callable[[], None]) -> None:
+        """Park ``retry`` until a reduce slot on ``node_id`` frees."""
+        self._reduce_waiters.setdefault(node_id, []).append(retry)
+
+    def _notify_reduce_waiter(self, node_id: int) -> None:
+        waiters = self._reduce_waiters.get(node_id)
+        if waiters:
+            waiters.pop(0)()
+
+
+class JobHandle:
+    """A submitted-but-not-necessarily-finished job."""
+
+    def __init__(self, state: "_JobState") -> None:
+        self._state = state
+
+    @property
+    def done(self) -> bool:
+        """True once every reduce task has committed its output."""
+        return self._state._done
+
+    def result(self) -> JobResult:
+        """The job's measured result; raises if it has not finished."""
+        return self._state.finish()
 
 
 class _JobState:
@@ -269,13 +361,14 @@ class _JobState:
             self.runner.map_scheduler.request(
                 callback=self._make_map_start(split.index),
                 preferred=preferred,
+                app_id=self.job_index,
             )
 
     def _make_map_start(self, split_index: int) -> Callable[[int], None]:
         def on_slot(node_id: int) -> None:
             if split_index in self._completed_maps:
                 # A speculative twin already won; give the slot back.
-                self.runner.map_scheduler.release(node_id)
+                self.runner.map_scheduler.release(node_id, app_id=self.job_index)
                 return
             attempt = {"split": split_index, "node": node_id,
                        "dead": False, "events": []}
@@ -302,7 +395,7 @@ class _JobState:
             event.cancel()
         self._running_maps[attempt["split"]].remove(attempt)
         self.counters.add("speculative_losses")
-        self.runner.map_scheduler.release(attempt["node"])
+        self.runner.map_scheduler.release(attempt["node"], app_id=self.job_index)
 
     # -- map task ----------------------------------------------------------
 
@@ -529,10 +622,11 @@ class _JobState:
         self.counters.add("failed_map_attempts")
         attempt["dead"] = True
         self._running_maps[split_index].remove(attempt)
-        self.runner.map_scheduler.release(attempt["node"])
+        self.runner.map_scheduler.release(attempt["node"], app_id=self.job_index)
         self.runner.map_scheduler.request(
             callback=self._make_map_start(split_index),
             preferred=self.dataset.locations(split_index),
+            app_id=self.job_index,
         )
 
     def _map_finish(
@@ -559,7 +653,7 @@ class _JobState:
         self.counters.add(
             "combine_output_records", sum(len(r) for r in buckets.values())
         )
-        self.runner.map_scheduler.release(node_id)
+        self.runner.map_scheduler.release(node_id, app_id=self.job_index)
         self._maybe_speculate()
         # One bulk call for the whole fan-out: the map wave's shuffle
         # triggers a single rate recompute instead of one per partition.
@@ -603,6 +697,7 @@ class _JobState:
                 self.runner.map_scheduler.request(
                     callback=self._make_map_start(split_index),
                     preferred=tuple(n.node_id for n in candidates[:3]),
+                    app_id=self.job_index,
                 )
 
     def _make_bucket_arrival(
@@ -634,9 +729,12 @@ class _JobState:
         if self._bucket_arrivals[partition] < self.num_maps:
             return
         node = self.reduce_node[partition]
-        if not self.runner.try_acquire_reduce(node):
+        if not self.runner.try_acquire_reduce(node, app_id=self.job_index):
             if partition not in self._reduce_waiting:
                 self._reduce_waiting.append(partition)
+                self.runner.wait_for_reduce(
+                    node, lambda: self._retry_reduce(partition)
+                )
             return
         self._reduce_started[partition] = True
         # Canonical merge order: by map index, like the sorted runs of
@@ -660,6 +758,11 @@ class _JobState:
         self.cluster.sim.schedule(
             delay, lambda: self._reduce_execute(partition, node, pieces)
         )
+
+    def _retry_reduce(self, partition: int) -> None:
+        """A reduce slot on this partition's node freed; try again."""
+        self._reduce_waiting.remove(partition)
+        self._maybe_start_reduce(partition)
 
     def _group_reduce_input(
         self, pieces: list[Any]
@@ -715,11 +818,8 @@ class _JobState:
         if not meta.blocks:
             replicas.add(node_id)
         self._output_files.append(tuple(sorted(replicas)))
-        self.runner.release_reduce(node_id)
+        self.runner.release_reduce(node_id, app_id=self.job_index)
         self._reduces_done += 1
-        if self._reduce_waiting:
-            nxt = self._reduce_waiting.pop(0)
-            self._maybe_start_reduce(nxt)
         if self._reduces_done == self.num_reducers:
             self._done = True
             self.finished_at = self.cluster.now

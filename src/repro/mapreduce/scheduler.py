@@ -7,6 +7,11 @@ frees, the scheduler picks, among queued requests, the first one that is
 node-local to it, then the first that is rack-local, then the oldest —
 the same data-local / rack-local / off-rack cascade Hadoop's JobTracker
 used.
+
+Concurrent jobs share the scheduler: requests carry an ``app_id``, and
+within each locality tier the request from the job holding the fewest
+slots wins (FIFO breaks ties).  A single job's schedule is therefore
+exactly the historical FIFO order.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ class _Request:
     preferred: tuple[int, ...]
     callback: Callable[[int], None]
     preferred_racks: frozenset[int] = field(default=frozenset())
+    app_id: int = 0
 
 
 class SlotScheduler:
@@ -43,6 +49,9 @@ class SlotScheduler:
         self._capacity = dict(self._free)
         self._queue: list[_Request] = []
         self._ids = itertools.count()
+        # Outstanding slot count per job, for least-granted interleaving
+        # of concurrent submissions.
+        self._outstanding: dict[int, int] = {}
         # Statistics for locality reporting.
         self.assignments_local = 0
         self.assignments_rack = 0
@@ -63,6 +72,7 @@ class SlotScheduler:
         self,
         callback: Callable[[int], None],
         preferred: Sequence[int] = (),
+        app_id: int = 0,
     ) -> None:
         """Ask for a slot; ``callback(node_id)`` fires when one is granted.
 
@@ -78,6 +88,7 @@ class SlotScheduler:
             preferred=tuple(preferred),
             callback=callback,
             preferred_racks=racks,
+            app_id=app_id,
         )
         node = self._pick_node_for(req)
         if node is None:
@@ -85,13 +96,14 @@ class SlotScheduler:
             return
         self._grant(req, node)
 
-    def release(self, node_id: int) -> None:
+    def release(self, node_id: int, app_id: int = 0) -> None:
         """Return a slot on ``node_id`` and serve the best queued request."""
         if self._free[node_id] >= self._capacity[node_id]:
             raise RuntimeError(
                 f"slot over-release on node {node_id} ({self.kind} scheduler)"
             )
         self._free[node_id] += 1
+        self._outstanding[app_id] = self._outstanding.get(app_id, 0) - 1
         self._serve_queue(node_id)
 
     # -- internals -------------------------------------------------------
@@ -120,23 +132,35 @@ class SlotScheduler:
         if not self._queue or self._free[node_id] <= 0:
             return
         rack = self.cluster.topology.nodes[node_id].rack_id
-        chosen = None
-        for req in self._queue:
-            if node_id in req.preferred:
-                chosen = req
-                break
+        chosen = self._least_granted(lambda req: node_id in req.preferred)
         if chosen is None:
-            for req in self._queue:
-                if rack in req.preferred_racks:
-                    chosen = req
-                    break
+            chosen = self._least_granted(
+                lambda req: rack in req.preferred_racks
+            )
         if chosen is None:
-            chosen = self._queue[0]
+            chosen = self._least_granted(lambda req: True)
+        assert chosen is not None  # queue is non-empty
         self._queue.remove(chosen)
         self._grant(chosen, node_id)
 
+    def _least_granted(
+        self, want: Callable[[_Request], bool]
+    ) -> _Request | None:
+        """Least-granted-job request in one locality tier, FIFO ties."""
+        best: _Request | None = None
+        best_held = 0
+        for req in self._queue:
+            if not want(req):
+                continue
+            held = self._outstanding.get(req.app_id, 0)
+            if best is None or held < best_held:
+                best = req
+                best_held = held
+        return best
+
     def _grant(self, req: _Request, node_id: int) -> None:
         self._free[node_id] -= 1
+        self._outstanding[req.app_id] = self._outstanding.get(req.app_id, 0) + 1
         if node_id in req.preferred:
             self.assignments_local += 1
         elif self.cluster.topology.nodes[node_id].rack_id in req.preferred_racks:

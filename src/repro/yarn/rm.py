@@ -5,6 +5,13 @@ node advertises a capacity vector (memory, vcores) derived from its
 :class:`~repro.cluster.topology.NodeSpec`; tasks ask for containers of a
 given profile; grants are locality-aware (node-local > rack-local >
 any), and unsatisfiable requests queue FIFO until releases free room.
+
+Concurrent applications share one RM: every request carries an
+``app_id``, and when several queued requests fit a freed node, the one
+belonging to the application holding the fewest containers wins
+(within each locality tier, ties broken FIFO).  With a single
+application the least-granted rule is vacuous and the schedule is
+exactly the historical FIFO-with-locality order.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ class Container:
     container_id: int
     node_id: int
     resource: Resource
+    app_id: int = 0
 
 
 @dataclass
@@ -35,6 +43,7 @@ class ContainerRequest:
     preferred: tuple[int, ...]
     preferred_racks: frozenset[int]
     callback: Callable[[Container], None] = field(compare=False)
+    app_id: int = 0
 
 
 class ResourceManager:
@@ -59,6 +68,9 @@ class ResourceManager:
         self._queue: list[ContainerRequest] = []
         self._ids = itertools.count()
         self.containers_granted = 0
+        # Outstanding container count per application, for least-granted
+        # interleaving of concurrent apps.
+        self._outstanding: dict[int, int] = {}
 
     # -- queries ----------------------------------------------------------
 
@@ -88,6 +100,7 @@ class ResourceManager:
         resource: Resource,
         callback: Callable[[Container], None],
         preferred: Sequence[int] = (),
+        app_id: int = 0,
     ) -> None:
         """Ask for one container; ``callback(container)`` on grant."""
         if not any(resource.fits_in(cap) for cap in self._capacity.values()):
@@ -103,6 +116,7 @@ class ResourceManager:
             preferred=tuple(preferred),
             preferred_racks=racks,
             callback=callback,
+            app_id=app_id,
         )
         node = self._pick_node(req)
         if node is None:
@@ -110,14 +124,20 @@ class ResourceManager:
             return
         self._grant(req, node)
 
-    def try_allocate_on(self, node_id: int, resource: Resource) -> Container | None:
+    def try_allocate_on(
+        self, node_id: int, resource: Resource, app_id: int = 0
+    ) -> Container | None:
         """Non-queuing allocation pinned to one node (reduce placement)."""
         if resource.fits_in(self._available[node_id]):
             container = Container(
-                container_id=next(self._ids), node_id=node_id, resource=resource
+                container_id=next(self._ids),
+                node_id=node_id,
+                resource=resource,
+                app_id=app_id,
             )
             self._available[node_id] = self._available[node_id] - resource
             self.containers_granted += 1
+            self._outstanding[app_id] = self._outstanding.get(app_id, 0) + 1
             return container
         return None
 
@@ -129,7 +149,12 @@ class ResourceManager:
                 f"container over-release on node {container.node_id}"
             )
         self._available[container.node_id] = new_avail
+        self._outstanding[container.app_id] -= 1
         self._serve_queue(container.node_id)
+
+    def outstanding(self, app_id: int) -> int:
+        """Containers currently held by ``app_id``."""
+        return self._outstanding.get(app_id, 0)
 
     # -- internals -----------------------------------------------------------
 
@@ -155,38 +180,51 @@ class ResourceManager:
         return min(nodes, key=lambda n: (-self._available[n].memory_mb, n))
 
     def _serve_queue(self, node_id: int) -> None:
-        # Serve, in FIFO-with-locality order, every queued request that
-        # now fits on the releasing node.
+        # Serve every queued request that now fits on the releasing
+        # node.  Within each locality tier the least-granted app wins;
+        # queue position (FIFO) breaks ties, so a single app sees the
+        # historical FIFO-with-locality order unchanged.
         while True:
-            chosen = None
-            for req in self._queue:
-                if not req.resource.fits_in(self._available[node_id]):
-                    continue
-                if node_id in req.preferred:
-                    chosen = req
-                    break
+            rack = self.cluster.topology.nodes[node_id].rack_id
+            chosen = self._best_fitting(
+                node_id, lambda req: node_id in req.preferred
+            )
             if chosen is None:
-                rack = self.cluster.topology.nodes[node_id].rack_id
-                for req in self._queue:
-                    if not req.resource.fits_in(self._available[node_id]):
-                        continue
-                    if rack in req.preferred_racks:
-                        chosen = req
-                        break
+                chosen = self._best_fitting(
+                    node_id, lambda req: rack in req.preferred_racks
+                )
             if chosen is None:
-                for req in self._queue:
-                    if req.resource.fits_in(self._available[node_id]):
-                        chosen = req
-                        break
+                chosen = self._best_fitting(node_id, lambda req: True)
             if chosen is None:
                 return
             self._queue.remove(chosen)
             self._grant(chosen, node_id)
 
+    def _best_fitting(
+        self, node_id: int, want: Callable[[ContainerRequest], bool]
+    ) -> ContainerRequest | None:
+        """Least-granted-app request in one locality tier, FIFO ties."""
+        best: ContainerRequest | None = None
+        best_held = 0
+        for req in self._queue:
+            if not req.resource.fits_in(self._available[node_id]):
+                continue
+            if not want(req):
+                continue
+            held = self._outstanding.get(req.app_id, 0)
+            if best is None or held < best_held:
+                best = req
+                best_held = held
+        return best
+
     def _grant(self, req: ContainerRequest, node_id: int) -> None:
         container = Container(
-            container_id=next(self._ids), node_id=node_id, resource=req.resource
+            container_id=next(self._ids),
+            node_id=node_id,
+            resource=req.resource,
+            app_id=req.app_id,
         )
         self._available[node_id] = self._available[node_id] - req.resource
         self.containers_granted += 1
+        self._outstanding[req.app_id] = self._outstanding.get(req.app_id, 0) + 1
         req.callback(container)

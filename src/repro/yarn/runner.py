@@ -39,7 +39,10 @@ class _ContainerSlotAdapter:
         self.assignments_remote = 0
 
     def request(
-        self, callback: Callable[[int], None], preferred: Sequence[int] = ()
+        self,
+        callback: Callable[[int], None],
+        preferred: Sequence[int] = (),
+        app_id: int = 0,
     ) -> None:
         """Ask for one map container; callback(node_id) on grant."""
         preferred = tuple(preferred)
@@ -57,14 +60,22 @@ class _ContainerSlotAdapter:
                     self.assignments_remote += 1
             callback(container.node_id)
 
-        self.rm.request(self.profile, on_container, preferred=preferred)
+        self.rm.request(
+            self.profile, on_container, preferred=preferred, app_id=app_id
+        )
 
-    def release(self, node_id: int) -> None:
-        """Return one held map container on ``node_id``."""
+    def release(self, node_id: int, app_id: int = 0) -> None:
+        """Return one held map container of ``app_id`` on ``node_id``."""
         held = self._held.get(node_id)
         if not held:
             raise RuntimeError(f"no held container to release on node {node_id}")
-        self.rm.release(held.pop())
+        for i, container in enumerate(held):
+            if container.app_id == app_id:
+                self.rm.release(held.pop(i))
+                return
+        raise RuntimeError(
+            f"no held container of app {app_id} to release on node {node_id}"
+        )
 
     def free_slots(self, node_id: int | None = None) -> int:
         """How many more map containers fit (node or cluster-wide)."""
@@ -117,17 +128,26 @@ class YarnJobRunner(JobRunner):
         self.map_scheduler = _ContainerSlotAdapter(self.rm, map_profile)
         self._reduce_containers: dict[int, list[Container]] = {}
 
-    def try_acquire_reduce(self, node_id: int) -> bool:
+    def try_acquire_reduce(self, node_id: int, app_id: int = 0) -> bool:
         """Pin a reduce container on ``node_id`` if it fits now."""
-        container = self.rm.try_allocate_on(node_id, self.reduce_profile)
+        container = self.rm.try_allocate_on(
+            node_id, self.reduce_profile, app_id=app_id
+        )
         if container is None:
             return False
         self._reduce_containers.setdefault(node_id, []).append(container)
         return True
 
-    def release_reduce(self, node_id: int) -> None:
-        """Return one held reduce container on ``node_id``."""
+    def release_reduce(self, node_id: int, app_id: int = 0) -> None:
+        """Return one held reduce container of ``app_id`` on ``node_id``."""
         held = self._reduce_containers.get(node_id)
         if not held:
             raise RuntimeError(f"no reduce container held on node {node_id}")
-        self.rm.release(held.pop())
+        for i, container in enumerate(held):
+            if container.app_id == app_id:
+                self.rm.release(held.pop(i))
+                self._notify_reduce_waiter(node_id)
+                return
+        raise RuntimeError(
+            f"no reduce container of app {app_id} held on node {node_id}"
+        )

@@ -1,17 +1,27 @@
-"""Pre-structure-of-arrays reference flow network.
+"""Per-object reference implementation of the component-scoped protocol.
 
-This is the per-object, dict-based implementation the optimized
-``repro.cluster.flows.FlowNetwork`` replaced: every filling round
-rebuilds the padded link-id matrix from the live ``Flow`` objects and
-accumulates each unfrozen flow's rate by the round delta.  It exists so
-property tests can assert the optimized simulator is *bit-identical* —
-same rates, same completion instants, same completion order, same byte
-accounting — on arbitrary topologies and flow batches.
+This is the frozen mirror the optimized ``repro.cluster.flows``
+simulator is property-tested against: a scalar, dict-of-objects
+implementation of the *same* component-scoped rebalancing protocol
+(DESIGN.md §13) — per-flow advancement clocks, incremental union-find
+components over links, chain-pair adjacency with exact-reachability
+split detection, dirty-component batched recompute, and one
+next-completion timer per component, processed in canonical ascending
+min-flow-id order.
 
-It deliberately mirrors the historical implementation operation for
-operation, with one intentional exception: completion uses the same
-scale-aware ``completion_eps`` as the optimized network (the absolute
-epsilon predated multi-GB flows and is part of this change).
+The protocol being shared is the point: max-min progressive filling is
+only separable across components if both sides advance, partition, and
+refill with the same component-local operand sequences, so every
+arithmetic step here performs the exact IEEE operation the optimized
+structure-of-arrays code performs on the same component-local operands.
+Property tests then assert the two are *bit-identical* — same rates,
+same completion instants, same completion order, same byte accounting —
+on arbitrary topologies and flow batches.
+
+One intentional historical exception survives from the original
+reference: completion uses the same scale-aware ``completion_eps`` as
+the optimized network (the absolute epsilon predated multi-GB flows and
+is part of that change).
 """
 
 from __future__ import annotations
@@ -20,8 +30,6 @@ import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Callable
-
-import numpy as np
 
 from repro.cluster.events import Event, Simulation
 from repro.cluster.flows import LOCAL_COPY_BANDWIDTH, _REMAINING_EPS, completion_eps
@@ -44,6 +52,9 @@ class ReferenceFlow:
     remaining: float = field(init=False)
     rate: float = field(default=0.0, init=False)
     completed_at: float | None = field(default=None, init=False)
+    # Last simulated time this flow's progress was applied (the lazy
+    # per-flow advancement clock of the shared protocol).
+    advanced_at: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         self.remaining = float(self.size)
@@ -53,8 +64,18 @@ class ReferenceFlow:
         return self.completed_at is not None
 
 
+class _RefComponent:
+    """One connected component of the link graph (reference mirror)."""
+
+    def __init__(self, root: int, links: list[int], epoch: int) -> None:
+        self.root = root
+        self.links = links
+        self.epoch = epoch
+        self.timer: Event | None = None
+
+
 class ReferenceFlowNetwork:
-    """Dict-of-objects flow simulator with per-round matrix rebuilds."""
+    """Dict-of-objects simulator of the component-scoped protocol."""
 
     def __init__(
         self, sim: Simulation, topology: Topology, meter: TrafficMeter | None = None
@@ -62,18 +83,29 @@ class ReferenceFlowNetwork:
         self.sim = sim
         self.topology = topology
         self.meter = meter if meter is not None else TrafficMeter()
-        self._flows: dict[int, ReferenceFlow] = {}
         self._ids = itertools.count()
-        self._last_update = sim.now
-        self._completion_event: Event | None = None
         self._recompute_event: Event | None = None
-        self._capacities = np.array(
-            [link.capacity for link in topology.links], dtype=float
-        )
+        self._capacities = [float(link.capacity) for link in topology.links]
+        # Same precomputed saturation thresholds as the optimized side.
+        self._thresholds = [1e-9 * cap for cap in self._capacities]
+        # Active fabric flows per link id.
+        self._link_flows: dict[int, list[ReferenceFlow]] = {}
+        # -- component tracking (mirrors FlowNetwork) ------------------
+        self._parent: dict[int, int] = {}
+        self._comps: dict[int, _RefComponent] = {}
+        self._epochs = itertools.count()
+        self._dirty_links: set[int] = set()
+        self._adj: dict[int, dict[int, int]] = {}
+        self._dead_pairs: list[tuple[int, int]] = []
 
     @property
     def active_flows(self) -> list[ReferenceFlow]:
-        return list(self._flows.values())
+        flows = {
+            flow.flow_id: flow
+            for flows in self._link_flows.values()
+            for flow in flows
+        }
+        return [flows[fid] for fid in sorted(flows)]
 
     def start_flow(
         self,
@@ -111,98 +143,271 @@ class ReferenceFlowNetwork:
             self.sim.schedule(0.0, lambda: self._finish(flow))
             return flow
 
-        self._advance_progress()
-        self._flows[flow.flow_id] = flow
+        self._attach(flow)
         if self._recompute_event is None:
             self._recompute_event = self.sim.schedule(0.0, self._do_recompute)
         return flow
 
+    # ------------------------------------------------------------------
+    # component tracking
+
+    def _find(self, link: int) -> int:
+        parent = self._parent
+        root = link
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[link] != root:
+            parent[link], link = root, parent[link]
+        return root
+
+    def _attach(self, flow: ReferenceFlow) -> None:
+        flow.advanced_at = self.sim.now
+        path = [link.link_id for link in flow.links]
+        for link_id in path:
+            self._link_flows.setdefault(link_id, []).append(flow)
+        # Chain-pair adjacency increments (consecutive path links).
+        adj = self._adj
+        for a, b in zip(path, path[1:]):
+            row_a = adj.setdefault(a, {})
+            row_b = adj.setdefault(b, {})
+            row_a[b] = row_a.get(b, 0) + 1
+            row_b[a] = row_b.get(a, 0) + 1
+        # Union the path's links into one component, merging records
+        # smaller-into-larger exactly as the optimized side does.
+        first = path[0]
+        root = self._find(first)
+        comp = self._comps.get(root)
+        if comp is None:
+            comp = _RefComponent(root, [root], next(self._epochs))
+            self._comps[root] = comp
+        for link_id in path[1:]:
+            other_root = self._find(link_id)
+            if other_root == root:
+                continue
+            other = self._comps.get(other_root)
+            if other is None:
+                self._parent[other_root] = root
+                comp.links.append(other_root)
+                continue
+            if len(other.links) > len(comp.links):
+                comp, other = other, comp
+                root, other_root = other_root, root
+            self._parent[other_root] = root
+            comp.links.extend(other.links)
+            if other.timer is not None:
+                other.timer.cancel()
+                other.timer = None
+            del self._comps[other_root]
+        self._dirty_links.add(first)
+
+    def _detach(self, flow: ReferenceFlow) -> None:
+        path = [link.link_id for link in flow.links]
+        for link_id in path:
+            self._link_flows[link_id].remove(flow)
+        adj = self._adj
+        for a, b in zip(path, path[1:]):
+            count = adj[a][b] - 1
+            if count:
+                adj[a][b] = count
+                adj[b][a] = count
+            else:
+                del adj[a][b]
+                del adj[b][a]
+                self._dead_pairs.append((a, b))
+
+    def _still_connected(self, a: int, b: int) -> bool:
+        adj = self._adj
+        seen = {a}
+        frontier = [a]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adj.get(node, ()):
+                if neighbour == b:
+                    return True
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return False
+
+    def _split_component(self, comp: _RefComponent) -> None:
+        del self._comps[comp.root]
+        visited: set[int] = set()
+        for link in comp.links:
+            if link in visited:
+                continue
+            visited.add(link)
+            if not self._link_flows.get(link):
+                # Dead link: revert to a singleton union-find root.
+                self._parent[link] = link
+                continue
+            group = [link]
+            stack = [link]
+            while stack:
+                node = stack.pop()
+                for neighbour in self._adj.get(node, ()):
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        group.append(neighbour)
+                        stack.append(neighbour)
+            root = min(group)
+            for member in group:
+                self._parent[member] = root
+            sub = _RefComponent(root, group, next(self._epochs))
+            self._comps[root] = sub
+            self._dirty_links.add(root)
+
+    def _component_flows(self, comp: _RefComponent) -> list[ReferenceFlow]:
+        """Member flows of ``comp``, ascending flow id (canonical)."""
+        flows: dict[int, ReferenceFlow] = {}
+        for link in comp.links:
+            for flow in self._link_flows.get(link, ()):
+                flows[flow.flow_id] = flow
+        return [flows[fid] for fid in sorted(flows)]
+
+    # ------------------------------------------------------------------
+    # protocol phases
+
     def _do_recompute(self) -> None:
         self._recompute_event = None
-        self._advance_progress()
-        self._recompute_rates()
-        self._replan()
+        if self._dirty_links:
+            roots = {self._find(link) for link in self._dirty_links}
+            self._dirty_links.clear()
+        else:
+            roots = set(self._comps.keys())
+        planned = []
+        for root in sorted(roots):
+            comp = self._comps.get(root)
+            if comp is None:
+                continue
+            flows = self._component_flows(comp)
+            if not flows:  # pragma: no cover - defensive
+                continue
+            planned.append((flows[0].flow_id, comp, flows))
+        planned.sort(key=lambda item: item[0])
+        for _, comp, flows in planned:
+            self._advance_flows(flows)
+            self._refill_component(comp, flows)
+            self._plan_component(comp, flows)
 
-    def _advance_progress(self) -> None:
+    def _advance_flows(self, flows: list[ReferenceFlow]) -> None:
         now = self.sim.now
-        dt = now - self._last_update
-        if dt > 0:
-            for flow in self._flows.values():
-                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
-        self._last_update = now
+        for flow in flows:
+            value = flow.remaining - flow.rate * (now - flow.advanced_at)
+            flow.remaining = value if value > 0.0 else 0.0
+            flow.advanced_at = now
 
-    def _recompute_rates(self) -> None:
-        """Textbook progressive filling over a per-round rebuilt matrix."""
-        flows = list(self._flows.values())
-        if not flows:
-            return
-        n = len(flows)
-        link_ids = np.full((n, 4), -1, dtype=np.int64)
-        for row, flow in enumerate(flows):
-            for col, link in enumerate(flow.links):
-                link_ids[row, col] = link.link_id
-        valid = link_ids >= 0
-        clipped = np.where(valid, link_ids, 0)
+    def _refill_component(
+        self, comp: _RefComponent, flows: list[ReferenceFlow]
+    ) -> None:
+        """Component-local progressive filling (the shared protocol).
 
-        num_links = len(self._capacities)
-        residual = self._capacities.copy()
-        rate = np.zeros(n)
-        unfrozen = np.ones(n, dtype=bool)
-        for _round in range(num_links + 1):
-            if not unfrozen.any():
+        Same round structure and operand order as the optimized
+        implementation: links processed ascending by id, fill level the
+        left-to-right sum of round deltas, counts decremented as flows
+        freeze.
+        """
+        link_flows = self._link_flows
+        occupied = sorted(
+            link for link in comp.links if link_flows.get(link)
+        )
+        residual = {link: self._capacities[link] for link in occupied}
+        threshold = {link: self._thresholds[link] for link in occupied}
+        counts = {link: len(link_flows[link]) for link in occupied}
+        total = len(flows)
+        frozen: set[int] = set()
+        alive = list(occupied)
+        fill = 0.0
+        while alive:
+            delta = math.inf
+            for link in alive:
+                count = counts[link]
+                if count > 0:
+                    ratio = residual[link] / count
+                    if ratio < delta:
+                        delta = ratio
+            fill += delta
+            saturated = []
+            for link in alive:
+                count = counts[link]
+                if count:
+                    residual[link] -= delta * count
+                if residual[link] <= threshold[link]:
+                    saturated.append(link)
+            if not saturated:
                 break
-            flat = link_ids[unfrozen]
-            flat = flat[flat >= 0]
-            counts = np.bincount(flat, minlength=num_links)
-            used = counts > 0
-            if not used.any():
+            newly: list[ReferenceFlow] = []
+            for link in saturated:
+                for flow in link_flows[link]:
+                    if flow.flow_id not in frozen:
+                        frozen.add(flow.flow_id)
+                        newly.append(flow)
+            if not newly:  # pragma: no cover - numeric corner
                 break
-            delta = float(np.min(residual[used] / counts[used]))
-            rate[unfrozen] += delta
-            residual[used] -= delta * counts[used]
-            saturated = np.zeros(num_links, dtype=bool)
-            saturated[used] = residual[used] <= 1e-9 * self._capacities[used]
-            if not saturated.any():
-                break
-            touches_saturated = (saturated[clipped] & valid).any(axis=1)
-            newly_frozen = touches_saturated & unfrozen
-            if not newly_frozen.any():
-                break
-            unfrozen &= ~newly_frozen
-        for row, flow in enumerate(flows):
-            flow.rate = float(rate[row])
+            for flow in newly:
+                flow.rate = fill
+            if len(frozen) == total:
+                return
+            for flow in newly:
+                for link in flow.links:
+                    counts[link.link_id] -= 1
+            dropped = set(saturated)
+            alive = [link for link in alive if link not in dropped]
+        for flow in flows:
+            if flow.flow_id not in frozen:
+                flow.rate = fill
 
-    def _replan(self) -> None:
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
-        if not self._flows:
-            return
+    def _plan_component(
+        self, comp: _RefComponent, flows: list[ReferenceFlow]
+    ) -> None:
+        if comp.timer is not None:
+            comp.timer.cancel()
+            comp.timer = None
         horizon = math.inf
-        for flow in self._flows.values():
+        for flow in flows:
             if flow.rate > 0:
-                horizon = min(horizon, flow.remaining / flow.rate)
+                candidate = flow.remaining / flow.rate
+                if candidate < horizon:
+                    horizon = candidate
         if not math.isfinite(horizon):
             raise RuntimeError(
                 "active flows exist but none has a positive rate; "
                 "the rate allocation is wedged"
             )
-        self._completion_event = self.sim.schedule(horizon, self._on_completion)
+        root = comp.root
+        epoch = comp.epoch
+        comp.timer = self.sim.schedule(
+            horizon, lambda: self._on_component_completion(root, epoch)
+        )
 
-    def _on_completion(self) -> None:
-        self._completion_event = None
-        self._advance_progress()
+    def _on_component_completion(self, root: int, epoch: int) -> None:
+        comp = self._comps.get(root)
+        if comp is None or comp.epoch != epoch:  # pragma: no cover - stale
+            return
+        comp.timer = None
+        flows = self._component_flows(comp)
+        self._advance_flows(flows)
         finished = [
-            f
-            for f in self._flows.values()
-            if f.remaining <= completion_eps(f.size)
+            flow for flow in flows if flow.remaining <= completion_eps(flow.size)
         ]
+        self._dead_pairs.clear()
         for flow in finished:
-            del self._flows[flow.flow_id]
+            self._detach(flow)
+        if len(finished) == len(flows):
+            # The whole component drained; release its links.
+            for link in comp.links:
+                self._parent[link] = link
+            del self._comps[root]
+        else:
+            if any(
+                not self._still_connected(a, b) for a, b in self._dead_pairs
+            ):
+                self._split_component(comp)
+            else:
+                self._dirty_links.add(comp.root)
+            if self._recompute_event is None:
+                self._recompute_event = self.sim.schedule(0.0, self._do_recompute)
         for flow in finished:
             self._finish(flow)
-        self._recompute_rates()
-        self._replan()
 
     def _finish(self, flow: ReferenceFlow) -> None:
         flow.remaining = 0.0

@@ -80,6 +80,142 @@ class TestCancellation:
         assert sim.peek_time() == 2.0
 
 
+class TestHeapHygiene:
+    """Compaction must be invisible: same execution order, same
+    counters, cancelled events dropped, seq ties stable."""
+
+    def test_compaction_drops_cancelled_from_heap(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # Compaction fired at least once mid-stream; the invariant is
+        # that dead events never outnumber live ones past the floor.
+        assert len(sim._queue) - sim._dead == 50
+        assert sim._dead < 150
+        assert sim._dead < 64 or sim._dead * 2 <= len(sim._queue)
+        assert sim.events_cancelled == 150
+
+    def test_small_queues_do_not_compact(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i), lambda: None) for i in range(20)]
+        for event in events[:15]:
+            event.cancel()
+        # Below the dead-count floor: lazy deletion only.
+        assert len(sim._queue) == 20
+        assert sim._dead == 15
+
+    def test_compaction_preserves_execution_order(self):
+        sim = Simulation()
+        order = []
+        kept = []
+        for i in range(200):
+            event = sim.schedule(float(i % 10), lambda i=i: order.append(i))
+            if i % 3 == 0:
+                kept.append(i)
+            else:
+                event.cancel()
+        sim.run()
+        # Survivors run sorted by (time, insertion seq): time is i % 10,
+        # and insertion order breaks ties.
+        assert order == sorted(kept, key=lambda i: (i % 10, i))
+
+    def test_compaction_keeps_seq_ties_stable(self):
+        sim = Simulation()
+        order = []
+        events = []
+        for i in range(200):
+            events.append(sim.schedule(1.0, lambda i=i: order.append(i)))
+        for i, event in enumerate(events):
+            if i % 2:
+                event.cancel()
+        sim.run()
+        assert order == [i for i in range(200) if i % 2 == 0]
+
+    def test_cancel_is_idempotent_in_counters(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.events_cancelled == 1
+        assert sim._dead == 1
+
+    def test_cancel_after_execution_is_noop(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert sim.events_cancelled == 0
+        assert sim.events_processed == 1
+
+    def test_run_until_drains_cancelled_without_executing(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1)).cancel()
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run_until(3.0)
+        assert seen == [2]
+        assert sim.events_processed == 1
+        assert sim.events_cancelled == 1
+        assert sim._dead == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_random_cancellation_pattern_matches_model(self, plan):
+        """Whatever compactions happen mid-stream, the executed sequence
+        equals the live events sorted by (time, seq)."""
+        sim = Simulation()
+        order = []
+        live = []
+        for i, (delay, keep) in enumerate(plan):
+            event = sim.schedule(delay, lambda i=i: order.append(i))
+            if keep:
+                live.append((event.time, event.seq, i))
+            else:
+                event.cancel()
+        sim.run()
+        assert order == [i for _, _, i in sorted(live)]
+        assert sim.events_processed == len(live)
+        assert sim.events_cancelled == len(plan) - len(live)
+
+
+class TestBatchScheduling:
+    def test_batch_runs_callbacks_in_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule_batch(1.0, [lambda n=n: order.append(n) for n in range(5)])
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+        # One heap entry, one processed event for the whole burst.
+        assert sim.events_processed == 1
+
+    def test_batch_interleaves_with_singleton_events(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(0.5, lambda: order.append("early"))
+        sim.schedule_batch(1.0, [lambda: order.append("a"),
+                                 lambda: order.append("b")])
+        sim.schedule(1.0, lambda: order.append("late"))
+        sim.run()
+        assert order == ["early", "a", "b", "late"]
+
+    def test_batch_can_be_cancelled(self):
+        sim = Simulation()
+        order = []
+        event = sim.schedule_batch(1.0, [lambda: order.append("a")])
+        event.cancel()
+        sim.run()
+        assert order == []
+
+
 class TestRunControl:
     def test_step_returns_false_when_empty(self):
         assert Simulation().step() is False

@@ -96,6 +96,99 @@ def test_optimized_matches_reference_bit_for_bit(scenario):
     assert opt_carried == ref_carried
 
 
+@st.composite
+def _component_scenarios(draw):
+    """Scenarios with a controlled component structure: 1–8 rack-local
+    flow groups (disjoint components of the flow–link graph), plus
+    optional cross-rack bridge flows that fuse some of them through the
+    core links."""
+    num_components = draw(st.integers(min_value=1, max_value=8))
+    nodes_per_rack = draw(st.integers(min_value=2, max_value=4))
+    num_nodes = num_components * nodes_per_rack
+    oversubscription = draw(st.sampled_from([1.0, 4.0]))
+    rack_node = st.integers(min_value=0, max_value=nodes_per_rack - 1)
+    waves = []
+    start = 0.0
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        start += draw(st.floats(min_value=0.0, max_value=2.0,
+                                allow_nan=False, allow_infinity=False))
+        flows = []
+        for rack in range(num_components):
+            base = rack * nodes_per_rack
+            for src, dst, nbytes in draw(
+                st.lists(st.tuples(rack_node, rack_node, _SIZES),
+                         min_size=1, max_size=4)
+            ):
+                flows.append((base + src, base + dst, nbytes))
+        # Bridge flows: each one crosses the core and merges the two
+        # racks' components into one.
+        if num_components > 1:
+            for src_rack, dst_rack, src, dst, nbytes in draw(
+                st.lists(
+                    st.tuples(
+                        st.integers(0, num_components - 1),
+                        st.integers(0, num_components - 1),
+                        rack_node, rack_node, _SIZES,
+                    ),
+                    min_size=0, max_size=3,
+                )
+            ):
+                flows.append((
+                    src_rack * nodes_per_rack + src,
+                    dst_rack * nodes_per_rack + dst,
+                    nbytes,
+                ))
+        waves.append((start, flows))
+    return num_nodes, nodes_per_rack, oversubscription, waves
+
+
+@given(_component_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_component_scoped_rates_match_reference(scenario):
+    """Bit-identity on graphs engineered to span 1–8 disjoint and
+    bridged components — the regime the incremental union-find,
+    reachability-gated splitting, and dirty-set scoping actually
+    exercise."""
+    ref = _run(scenario, optimized=False)
+    opt = _run(scenario, optimized=True)
+    assert opt == ref
+
+
+def test_unrelated_job_timer_survives_other_jobs_churn():
+    """Arrivals and completions in job A must not cancel or reschedule
+    job B's per-component completion timer: the two jobs live in
+    disjoint components, so B's timer Event must stay the *same object*
+    throughout A's churn."""
+    sim = Simulation()
+    topology = Topology(
+        num_nodes=8, nodes_per_rack=4, node_spec=NodeSpec(),
+        oversubscription=2.0,
+    )
+    net = FlowNetwork(sim, topology, TrafficMeter())
+    done_a: list[int] = []
+    # Job B: one long rack-local flow in rack 1.
+    flow_b = net.start_flow(4, 5, 1e9, "shuffle")
+    # Job A: short churning flows in rack 0.
+    for _ in range(3):
+        net.start_flow(0, 1, 1e6, "shuffle",
+                       lambda f: done_a.append(f.flow_id))
+    # A mid-run arrival in job A, long before B finishes.
+    sim.schedule(1e-4, lambda: net.start_flow(
+        0, 2, 1e6, "shuffle", lambda f: done_a.append(f.flow_id)))
+    sim.run_until(0.0)  # initial recompute: both components planned
+    link_b = topology.path(4, 5)[0].link_id
+    root_b = net._find(link_b)
+    timer_b = net._comp[root_b].timer
+    assert timer_b is not None
+    while len(done_a) < 4:
+        assert sim.step()
+        assert net._comp[root_b].timer is timer_b
+        assert not timer_b.cancelled
+    sim.run()
+    assert flow_b.done
+    assert flow_b.completed_at is not None and flow_b.completed_at > 0.0
+
+
 def test_reference_and_optimized_agree_on_contended_fanout():
     """A deterministic heavier case: all-to-all on an oversubscribed
     two-rack cluster, sizes spanning three orders of magnitude."""

@@ -11,7 +11,9 @@ wallclock = pytest.importorskip("benchmarks.perf.wallclock")
 # the 64/256-node fan-outs exercise the batch path in a few events.
 TINY = dict(sizing_records=2_000, points=400, k=3, partitions=4,
             job_records=800, e2e_points=400, fanout_classes=4,
-            bulk_points=400, shuffle_records=400, repeats=1)
+            bulk_points=400, shuffle_records=400,
+            multijob_chain=2, multijob_bulk=2, concurrent_records=200,
+            repeats=1)
 
 
 @pytest.fixture

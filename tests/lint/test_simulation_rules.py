@@ -195,3 +195,132 @@ class TestReentrantHandlerMutation:
                 self.sim.now = 0.0
         """
         assert rules(src) == []
+
+
+class TestComponentTimerBypass:
+    """PIC401 for the component-scoped completion-timer registrar."""
+
+    def test_timer_callback_invoked_synchronously_flagged(self):
+        # _arm_component_timer(comp, horizon, cb) parks cb until the
+        # component's soonest flow completes; calling it directly
+        # finishes the transfer at zero simulated cost.
+        src = """
+        class Planner:
+            def plan(self, net, comp, sink):
+                def fire():
+                    sink.append(comp)
+                net._arm_component_timer(comp, 3.0, fire)
+                fire()
+        """
+        assert rules(src) == ["PIC401"]
+
+    def test_near_miss_timer_registration_only_silent(self):
+        src = """
+        class Planner:
+            def plan(self, net, comp, sink):
+                def fire():
+                    sink.append(comp)
+                net._arm_component_timer(comp, 3.0, fire)
+        """
+        assert rules(src) == []
+
+
+class TestPartitionStateWrites:
+    """PIC402 for the union-find / dirty-set partition structures."""
+
+    def test_handler_poking_union_find_through_alias_flagged(self):
+        # The partition-maintenance structures are substrate-private by
+        # *leaf name*: reaching _uf_parent through an alias that is not
+        # a conventional substrate name is still a reentrant write.
+        src = """
+        class Driver:
+            def __init__(self, sim, flows):
+                self.sim = sim
+                self.flows = flows
+
+            def arm(self):
+                self.sim.schedule(1.0, self._tick)
+
+            def _tick(self):
+                self.flows._uf_parent[0] = 0
+        """
+        assert rules(src) == ["PIC402"]
+
+    def test_handler_marking_dirty_links_flagged(self):
+        # Mutator-method writes (set.add) reach the same check as
+        # subscript stores.
+        src = """
+        class Driver:
+            def __init__(self, sim, flows):
+                self.sim = sim
+                self.flows = flows
+
+            def arm(self):
+                self.sim.schedule(1.0, self._tick)
+
+            def _tick(self):
+                self.flows._dirty_links.add(3)
+        """
+        assert rules(src) == ["PIC402"]
+
+    def test_handler_dropping_component_entry_flagged(self):
+        src = """
+        class Driver:
+            def __init__(self, sim, flows):
+                self.sim = sim
+                self.flows = flows
+
+            def arm(self):
+                self.sim.schedule(1.0, self._tick)
+
+            def _tick(self):
+                self.flows._comp.clear()
+        """
+        assert rules(src) == ["PIC402"]
+
+    def test_near_miss_same_write_outside_handler_silent(self):
+        # Only handler-reachable functions are PIC402 seeds; ordinary
+        # setup code touching the same attribute is out of scope here.
+        src = """
+        class Driver:
+            def __init__(self, flows):
+                self.flows = flows
+
+            def reset(self):
+                self.flows._uf_parent[0] = 0
+        """
+        assert rules(src) == []
+
+    def test_near_miss_handler_writing_own_adjacency_silent(self):
+        # A class may keep its *own* _adj; only reaching into another
+        # object's partition state is flagged.
+        src = """
+        class Router:
+            def __init__(self, sim):
+                self.sim = sim
+                self._adj = {}
+
+            def arm(self):
+                self.sim.schedule(1.0, self._tick)
+
+            def _tick(self):
+                self._adj[1] = 2
+        """
+        assert rules(src) == []
+
+    def test_near_miss_flow_network_owns_its_union_find_silent(self):
+        src = """
+        class FlowNetwork:
+            def __init__(self, sim):
+                self.sim = sim
+                self._uf_parent = []
+                self._dirty_links = set()
+
+            def arm(self):
+                self.sim.schedule(1.0, self._sweep)
+
+            def _sweep(self):
+                self._dirty_links.clear()
+                self._uf_parent[0] = 0
+        """
+        assert rules(src) == []

@@ -202,3 +202,63 @@ class TestSlotReuse:
         runner = JobRunner(cluster, dfs)
         result = runner.run(word_spec(num_reducers=8), dataset)
         assert sorted(result.output) == sorted((f"w{i}", 5) for i in range(20))
+
+
+class TestConcurrentSubmission:
+    def test_submit_many_runs_jobs_concurrently(self):
+        cluster, runner, dataset = make_env()
+        records = [(i, f"word{i % 5}") for i in range(150)]
+        dataset_b = DistributedDataset.materialize(
+            runner.dfs, "/in-b", records, 3
+        )
+        handles = runner.submit_many([
+            (word_spec(), dataset),
+            (word_spec(name="wordcount-b"), dataset_b),
+        ])
+        assert not any(h.done for h in handles)
+        cluster.run()
+        assert all(h.done for h in handles)
+        a, b = (h.result() for h in handles)
+        assert sorted(a.output) == [(f"word{i}", 30) for i in range(10)]
+        assert sorted(b.output) == [(f"word{i}", 30) for i in range(5)]
+        # Shared clock: both jobs started together and the cluster
+        # quiesced at the later finish.
+        assert a.started_at == b.started_at == 0.0
+        assert cluster.now == max(a.finished_at, b.finished_at)
+
+    def test_result_before_finish_raises(self):
+        _c, runner, dataset = make_env()
+        handle = runner.submit(word_spec(), dataset)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            handle.result()
+
+    def test_run_is_submit_plus_drain(self):
+        """`run()` and submit+run+result give identical measurements."""
+        _c1, r1, d1 = make_env()
+        _c2, r2, d2 = make_env()
+        via_run = r1.run(word_spec(), d1)
+        handle = r2.submit(word_spec(), d2)
+        r2.cluster.run()
+        via_submit = handle.result()
+        assert via_run.output == via_submit.output
+        assert via_run.finished_at == via_submit.finished_at
+        assert via_run.counters.as_dict() == via_submit.counters.as_dict()
+
+    def test_concurrent_slower_than_solo_but_correct(self):
+        """Contention stretches wall-clock (simulated) but never changes
+        results: K concurrent copies produce the solo output."""
+        _c, solo_runner, solo_dataset = make_env()
+        solo = solo_runner.run(word_spec(), solo_dataset)
+        cluster, runner, dataset = make_env()
+        datasets = [dataset]
+        for j in range(3):
+            records = [(i, f"word{i % 10}") for i in range(300)]
+            datasets.append(DistributedDataset.materialize(
+                runner.dfs, f"/in-{j}", records, 6
+            ))
+        results = runner.run_many([
+            (word_spec(name=f"wc-{j}"), ds) for j, ds in enumerate(datasets)
+        ])
+        for result in results:
+            assert sorted(result.output) == sorted(solo.output)
+        assert max(r.finished_at for r in results) >= solo.finished_at

@@ -110,3 +110,53 @@ class TestSaturation:
         assert extra == []
         sched.release(granted[0])
         assert len(extra) == 1
+
+
+class TestConcurrentApps:
+    def test_least_granted_app_wins_queue(self):
+        """With two saturated apps queued, freed slots alternate to the
+        app holding fewer slots."""
+        _c, sched = make_scheduler(num_nodes=1, nodes_per_rack=1, map_slots=2)
+        grants = []
+        # App 1 takes both slots, then queues two more asks; app 2
+        # queues two asks behind them.
+        for _ in range(4):
+            sched.request(lambda n: grants.append(1), app_id=1)
+        for _ in range(2):
+            sched.request(lambda n: grants.append(2), app_id=2)
+        assert grants == [1, 1]
+        # App 1 holds 2, app 2 holds 0: the first release must serve
+        # app 2 even though app 1 queued first.
+        sched.release(0, app_id=1)
+        assert grants == [1, 1, 2]
+        # Now both hold... app1=1, app2=1: FIFO tie-break -> app 1.
+        sched.release(0, app_id=1)
+        assert grants == [1, 1, 2, 1]
+        sched.release(0, app_id=2)
+        assert grants == [1, 1, 2, 1, 2]
+        sched.release(0, app_id=1)
+        assert grants == [1, 1, 2, 1, 2, 1]
+
+    def test_single_app_is_fifo(self):
+        """One app's schedule is the historical FIFO order exactly."""
+        _c, sched = make_scheduler(num_nodes=1, nodes_per_rack=1, map_slots=1)
+        order = []
+        for i in range(5):
+            sched.request(lambda n, i=i: order.append(i))
+        for _ in range(4):
+            sched.release(0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_locality_outranks_fairness(self):
+        """The locality cascade still applies before the fairness rule:
+        a node-local request of the greedier app beats an off-rack
+        request of the starved one."""
+        _c, sched = make_scheduler(num_nodes=2, nodes_per_rack=1, map_slots=1)
+        grants = []
+        sched.request(lambda n: grants.append("fill0"))
+        sched.request(lambda n: grants.append("fill1"))
+        sched.request(lambda n: grants.append(("greedy", n)),
+                      preferred=(0,), app_id=1)
+        sched.request(lambda n: grants.append(("starved", n)), app_id=2)
+        sched.release(0)
+        assert grants[-1] == ("greedy", 0)

@@ -197,3 +197,84 @@ class TestPICOnYarn:
         assert yarn_be.model["mean"] == pytest.approx(
             slots.best_effort.model["mean"], abs=1e-6
         )
+
+
+class TestConcurrentApplications:
+    def test_least_granted_app_served_first(self):
+        """Queued requests from the app holding fewer containers win
+        over an earlier-queued request of a greedier app."""
+        rm = ResourceManager(make_cluster(num_nodes=1, ram_gb=4, cores=2))
+        grants = []
+        held = []
+        # App 1 fills both vcores and queues two more requests.
+        for _ in range(2):
+            rm.request(Resource(1024, 1), held.append, app_id=1)
+        for _ in range(2):
+            rm.request(Resource(1024, 1),
+                       lambda c: grants.append(c.app_id), app_id=1)
+        # App 2 queues one request behind them.
+        rm.request(Resource(1024, 1),
+                   lambda c: grants.append(c.app_id), app_id=2)
+        assert rm.outstanding(1) == 2 and rm.outstanding(2) == 0
+        rm.release(held.pop())
+        # App 2 (holding 0) beats app 1's older queued requests.
+        assert grants == [2]
+
+    def test_single_app_queue_is_fifo(self):
+        rm = ResourceManager(make_cluster(num_nodes=1, ram_gb=4, cores=1))
+        order = []
+        held = []
+        rm.request(Resource(1024, 1), held.append)
+        for i in range(3):
+            rm.request(Resource(1024, 1), lambda c, i=i: order.append(i))
+        rm.release(held.pop())
+        assert order == [0]
+
+    def test_outstanding_tracks_reduce_pins(self):
+        rm = ResourceManager(make_cluster())
+        container = rm.try_allocate_on(0, Resource(1024, 1), app_id=7)
+        assert container is not None
+        assert rm.outstanding(7) == 1
+        rm.release(container)
+        assert rm.outstanding(7) == 0
+
+
+class TestConcurrentJobs:
+    def test_run_many_matches_solo_outputs(self):
+        """Two word-count jobs sharing the cluster both finish and
+        produce exactly the records a solo run produces."""
+        cluster, runner, dataset = word_env(YarnJobRunner)
+        solo_cluster, solo_runner, solo_dataset = word_env(YarnJobRunner)
+        solo = solo_runner.run(word_spec(), solo_dataset)
+
+        dfs = runner.dfs
+        records = [(i, f"word{i % 4}") for i in range(120)]
+        dataset_b = DistributedDataset.materialize(dfs, "/in-b", records, 4)
+        results = runner.run_many([
+            (word_spec(), dataset),
+            (word_spec(), dataset_b),
+        ])
+        assert sorted(results[0].output) == sorted(solo.output)
+        assert sorted(results[1].output) == [
+            (f"word{i}", 30) for i in range(4)
+        ]
+        # Both jobs ran concurrently on one simulation clock.
+        assert results[0].started_at == results[1].started_at
+        assert max(r.finished_at for r in results) == cluster.now
+
+    def test_concurrent_jobs_share_slots_fairly(self):
+        """Neither job monopolizes the map containers: both jobs get
+        grants before either finishes its map wave."""
+        cluster, runner, dataset = word_env(YarnJobRunner)
+        records = [(i, f"word{i % 4}") for i in range(120)]
+        dataset_b = DistributedDataset.materialize(
+            runner.dfs, "/in-b", records, 4
+        )
+        handles = runner.submit_many([
+            (word_spec(), dataset),
+            (word_spec(), dataset_b),
+        ])
+        cluster.run()
+        assert all(handle.done for handle in handles)
+        outstanding = runner.rm._outstanding
+        assert all(count == 0 for count in outstanding.values())
