@@ -13,13 +13,26 @@ queue performs *heap hygiene*: the simulation tracks how many cancelled
 events are still sitting in the heap and compacts — filters the dead
 entries out and re-heapifies the survivors — once they outnumber the
 live ones.  Ordering is unaffected because every event carries a unique
-``(time, seq)`` key.
+``(time, tie, seq)`` key.
+
+**Schedule sanitizer** (``PIC_SANITIZE=<seed>``): correct layers above
+must not depend on *which* of two causally unrelated events at the same
+timestamp runs first.  With a sanitize seed set, the queue applies a
+seeded permutation to exactly that slack: every event carries a ``tie``
+key derived from ``(seed, parent)`` where *parent* is the event whose
+callback scheduled it (or the root context, outside any callback).
+Events with the same parent keep their program order; events from
+different parents at the same timestamp are interleaved pseudo-randomly
+but deterministically per seed.  Simulated seconds, bytes and models
+must be bit-identical for every seed — a divergence is an
+order-dependence bug (see DESIGN.md §14 for the legal tie orders).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
@@ -29,10 +42,44 @@ from typing import Any, Callable, Iterable
 # pop-side skip work to a constant factor of the live event count.
 _COMPACT_MIN_DEAD = 64
 
+_MASK64 = (1 << 64) - 1
+#: Root "parent" for events scheduled outside any callback (driver /
+#: submission code).  All root events share one tie key, so submission
+#: program order is part of the sanitizer's preserved order.
+_ROOT_PARENT = -1
+
+
+def _mix(seed: int, parent: int) -> int:
+    """splitmix64-style hash of ``(seed, parent)`` — the sanitizer tie key.
+
+    Pure integer arithmetic so the permutation is identical on every
+    platform and Python build.
+    """
+    x = (
+        seed * 0x9E3779B97F4A7C15 + (parent + 1) * 0xBF58476D1CE4E5B9
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def sanitize_seed_from_env() -> int | None:
+    """The ambient ``PIC_SANITIZE`` seed, or None when unset/empty."""
+    raw = os.environ.get("PIC_SANITIZE", "").strip()
+    if not raw:
+        return None
+    return int(raw)
+
 
 @dataclass(slots=True)
 class Event:
-    """A scheduled callback.  Ordered by (time, sequence number).
+    """A scheduled callback.  Ordered by (time, tie, sequence number).
+
+    ``tie`` is 0 for every event when the sanitizer is off, so ordering
+    degenerates to the historical ``(time, seq)`` insertion order.
 
     Slotted: the flow simulator allocates (and lazily cancels) one of
     these per replan, so size and attribute-access cost matter.
@@ -41,6 +88,12 @@ class Event:
     time: float
     seq: int
     callback: Callable[[], Any]
+    tie: int = 0
+    # Serialization-point flag: late events sort after every normal
+    # event at the same timestamp, under any sanitizer seed.  Shared
+    # resource matching (slot schedulers, the RM) runs there so its
+    # decisions are made once per instant over complete state.
+    late: bool = False
     cancelled: bool = False
     # Backref to the owning simulation while the event is pending, so
     # cancel() can maintain the dead-event bookkeeping.  Cleared when
@@ -53,6 +106,10 @@ class Event:
         # two tuples per comparison.
         if self.time != other.time:
             return self.time < other.time
+        if self.late != other.late:
+            return not self.late
+        if self.tie != other.tie:
+            return self.tie < other.tie
         return self.seq < other.seq
 
     def cancel(self) -> None:
@@ -76,18 +133,40 @@ class Simulation:
     continuation callbacks.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tie_seed: int | None = None) -> None:
         self._now = 0.0
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._processed = 0
         self._cancelled = 0
         self._dead = 0  # cancelled events still sitting in the heap
+        # Schedule sanitizer: explicit seed wins, else PIC_SANITIZE.
+        self._tie_seed = (
+            tie_seed if tie_seed is not None else sanitize_seed_from_env()
+        )
+        # Sequence number of the event whose callback is currently
+        # executing; new events inherit it as their causal parent.
+        self._parent = _ROOT_PARENT
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def tie_seed(self) -> int | None:
+        """Active sanitizer seed (None: historical insertion order)."""
+        return self._tie_seed
+
+    @property
+    def in_callback(self) -> bool:
+        """True while an event callback is executing on this simulation.
+
+        Resource managers use this to decide between serving requests
+        synchronously (driver/submission code, unit tests) and
+        deferring to a :meth:`schedule_serialized` point.
+        """
+        return self._parent != _ROOT_PARENT
 
     @property
     def events_processed(self) -> int:
@@ -111,7 +190,35 @@ class Simulation:
             raise ValueError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback, owner=self)
+        tie = 0 if self._tie_seed is None else _mix(self._tie_seed, self._parent)
+        event = Event(
+            time=time, seq=next(self._seq), callback=callback, tie=tie, owner=self
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_serialized(self, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at the *current* instant, after every
+        normal event already at (or later scheduled for) this timestamp.
+
+        This is a **serialization point**: layers that arbitrate shared
+        resources (slot schedulers, the ResourceManager, reduce-slot
+        waiter queues) defer their matching here, so the decision runs
+        exactly once per timestamp over the complete request/release
+        state — and its outcome cannot depend on the tie order the
+        sanitizer permutes.  Late events still carry a seeded tie among
+        themselves; distinct serialization points at one instant must
+        own disjoint resources.
+        """
+        tie = 0 if self._tie_seed is None else _mix(self._tie_seed, self._parent)
+        event = Event(
+            time=self._now,
+            seq=next(self._seq),
+            callback=callback,
+            tie=tie,
+            late=True,
+            owner=self,
+        )
         heapq.heappush(self._queue, event)
         return event
 
@@ -161,7 +268,12 @@ class Simulation:
             self._now = event.time
             self._processed += 1
             event.owner = None
-            event.callback()
+            prev_parent = self._parent
+            self._parent = event.seq
+            try:
+                event.callback()
+            finally:
+                self._parent = prev_parent
             return True
         return False
 
@@ -180,18 +292,26 @@ class Simulation:
         """Run all events scheduled at or before ``time``, then set the clock."""
         if time < self._now:
             raise ValueError(f"cannot run backwards to t={time} from t={self._now}")
-        queue = self._queue
-        while queue:
-            event = queue[0]
+        # Always re-read self._queue: a callback may cancel enough events
+        # to trigger _compact(), which rebinds the heap.  Iterating a
+        # stale local binding would drop events the callback scheduled
+        # (they land on the new heap) and re-skip compacted dead ones.
+        while self._queue:
+            event = self._queue[0]
             if event.cancelled:
-                heapq.heappop(queue)
+                heapq.heappop(self._queue)
                 self._dead -= 1
                 continue
             if event.time > time:
                 break
-            heapq.heappop(queue)
+            heapq.heappop(self._queue)
             self._now = event.time
             self._processed += 1
             event.owner = None
-            event.callback()
+            prev_parent = self._parent
+            self._parent = event.seq
+            try:
+                event.callback()
+            finally:
+                self._parent = prev_parent
         self._now = time

@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.cluster.topology import Topology
 from repro.util.rng import SeedLike, as_generator
 
 DEFAULT_BLOCK_SIZE = 64 * 2**20  # Hadoop 0.20's default 64 MB
+
+
+def _path_entropy(path: str) -> int:
+    """Stable 64-bit entropy for one file path (platform-independent)."""
+    return int.from_bytes(hashlib.sha256(path.encode("utf-8")).digest()[:8], "big")
 
 
 @dataclass
@@ -64,6 +72,16 @@ class Namenode:
         self.replication = min(replication, topology.num_nodes)
         self.block_size = block_size
         self.rng = as_generator(seed)
+        # Placement is a pure function of (seed, path): each create()
+        # derives a per-file stream instead of drawing from one shared
+        # cursor, so which of two same-timestamp writes registers first
+        # cannot shift every later file's replica choices.
+        if isinstance(seed, int):
+            self._placement_entropy = seed
+        else:
+            self._placement_entropy = int(
+                as_generator(seed).integers(0, 2**63 - 1)
+            )
         self._files: dict[str, FileMeta] = {}
         self._next_block_id = 0
         self.stored_bytes_per_node: dict[int, float] = {
@@ -117,10 +135,13 @@ class Namenode:
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
         meta = FileMeta(path=path)
+        rng = as_generator(
+            np.random.SeedSequence([self._placement_entropy, _path_entropy(path)])
+        )
         remaining = nbytes
         while True:
             chunk = min(remaining, self.block_size)
-            replicas = self._place_replicas(writer_node, replication)
+            replicas = self._place_replicas(writer_node, replication, rng)
             block = BlockMeta(
                 block_id=self._next_block_id, nbytes=chunk, replicas=replicas
             )
@@ -135,20 +156,25 @@ class Namenode:
         return meta
 
     def _place_replicas(
-        self, writer_node: int, replication: int | None = None
+        self,
+        writer_node: int,
+        replication: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[int, ...]:
         if replication is None:
             replication = self.replication
+        if rng is None:
+            rng = self.rng
         topo = self.topology
         placed = [writer_node]
         if replication >= 2:
             writer_rack = topo.nodes[writer_node].rack_id
             off_rack = [n.node_id for n in topo.nodes if n.rack_id != writer_rack]
             if off_rack:
-                second = int(self.rng.choice(off_rack))
+                second = int(rng.choice(off_rack))
             else:
                 candidates = [n.node_id for n in topo.nodes if n.node_id != writer_node]
-                second = int(self.rng.choice(candidates)) if candidates else None
+                second = int(rng.choice(candidates)) if candidates else None
             if second is not None:
                 placed.append(second)
         if replication >= 3 and len(placed) == 2:
@@ -162,12 +188,12 @@ class Namenode:
                 n.node_id for n in topo.nodes if n.node_id not in placed
             ]
             if pool:
-                placed.append(int(self.rng.choice(pool)))
+                placed.append(int(rng.choice(pool)))
         while len(placed) < replication:
             pool = [n.node_id for n in topo.nodes if n.node_id not in placed]
             if not pool:
                 break
-            placed.append(int(self.rng.choice(pool)))
+            placed.append(int(rng.choice(pool)))
         return tuple(placed)
 
     # -- replica selection for reads -------------------------------------

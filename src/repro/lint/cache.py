@@ -6,9 +6,14 @@ the per-file findings (pre-noqa), the noqa suppression map, and the
 module's dataflow IR (so whole-program analysis re-runs from IR alone).
 A warm run over an unchanged tree therefore never calls ``ast.parse``.
 
-Entries are salted with the active per-file rule IDs and the IR/JSON
-schema versions — changing either invalidates the whole cache rather
-than serving stale shapes.
+Entries are salted with the active per-file rule IDs, the IR/JSON
+schema versions and every whole-program pass version (typestate,
+units, interference) — changing any of them invalidates the whole
+cache rather than serving stale shapes.  Project findings are always
+recomputed from the cached IR, so a warm run reproduces PIC4xx–7xx
+findings with ``parsed=0``; the pass versions exist so that editing a
+pass's *logic* cannot pair fresh code with a cache whose file-level
+findings were filtered under the old logic.
 """
 
 from __future__ import annotations
@@ -19,7 +24,10 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.lint.model import Finding
+from repro.lint.project.interference import INTERFERENCE_PASS_VERSION
 from repro.lint.project.ir import IR_SCHEMA_VERSION
+from repro.lint.project.typestate import TYPESTATE_PASS_VERSION
+from repro.lint.project.units import UNITS_PASS_VERSION
 
 CACHE_SCHEMA_VERSION = 1
 DEFAULT_CACHE_NAME = ".piclint-cache.json"
@@ -34,6 +42,11 @@ def cache_salt(rule_ids: Sequence[str]) -> str:
         {
             "cache": CACHE_SCHEMA_VERSION,
             "ir": IR_SCHEMA_VERSION,
+            "passes": {
+                "interference": INTERFERENCE_PASS_VERSION,
+                "typestate": TYPESTATE_PASS_VERSION,
+                "units": UNITS_PASS_VERSION,
+            },
             "rules": sorted(rule_ids),
         },
         sort_keys=True,

@@ -92,8 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--explain",
         metavar="RULE",
+        nargs="?",
+        const="",
+        default=None,
         help="print a rule's doc, invariant family and a minimal "
-        "bad/good example pair, then exit",
+        "bad/good example pair, then exit; with no RULE, list every "
+        "rule sorted by ID with its one-line doc",
     )
     return parser
 
@@ -140,9 +144,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule.rule_id}  {rule.summary}")
         return 0
 
-    if args.explain:
+    if args.explain is not None:
         from repro.lint.examples import explain
+        from repro.lint.rules import family_of
 
+        if not args.explain.strip():
+            for rule in all_rules():
+                print(
+                    f"{rule.rule_id}  [{family_of(rule.rule_id)}]  "
+                    f"{rule.summary}"
+                )
+            return 0
         text = explain(args.explain.strip().upper())
         if text is None:
             known = ", ".join(sorted(rules_by_id()))

@@ -318,6 +318,115 @@ _EXAMPLES = [
             sim.schedule(eta, cb)
         """,
     ),
+    Example(
+        "PIC701",
+        """
+        class _JobState:
+            def __init__(self, app_id: int) -> None:
+                self.app_id = app_id
+                self.bucket_arrivals = 0
+
+        class Runner:
+            def submit(self, sim, sibling: _JobState) -> None:
+                sim.schedule(1.0, lambda: self._on_map_done(sibling))
+
+            def _on_map_done(self, sibling: _JobState) -> None:
+                sibling.bucket_arrivals = sibling.bucket_arrivals + 1
+        """,
+        """
+        class _JobState:
+            def __init__(self, sim, app_id: int) -> None:
+                self.app_id = app_id
+                self.bucket_arrivals = 0
+                sim.schedule(1.0, self._on_map_done)
+
+            def _on_map_done(self) -> None:
+                self.bucket_arrivals = self.bucket_arrivals + 1
+        """,
+    ),
+    Example(
+        "PIC702",
+        """
+        from repro.metrics import ShuffleStats
+
+        class Tracker:
+            def __init__(self, stats: ShuffleStats) -> None:
+                self.stats = stats
+                self.ticks = 0.0
+
+            def start(self, sim) -> None:
+                sim.schedule(1.0, lambda: self.on_map_done())
+                sim.schedule(1.0, lambda: self.on_reduce_done())
+
+            def on_map_done(self) -> None:
+                self.stats.last_finished = self.ticks
+
+            def on_reduce_done(self) -> None:
+                self.stats.last_finished = self.ticks
+        """,
+        """
+        from repro.metrics import ShuffleStats
+
+        class Tracker:
+            def __init__(self, stats: ShuffleStats) -> None:
+                self.stats = stats
+                self.ticks = 0.0
+
+            def start(self, sim) -> None:
+                sim.schedule(1.0, lambda: self.on_map_done())
+                sim.schedule(1.0, lambda: self.on_reduce_done())
+
+            def on_map_done(self) -> None:
+                self.stats.by_phase["map"] = self.ticks
+
+            def on_reduce_done(self) -> None:
+                self.stats.by_phase["reduce"] = self.ticks
+        """,
+    ),
+    Example(
+        "PIC703",
+        """
+        from repro.mapreduce.scheduler import SlotScheduler
+
+        class App:
+            def __init__(self, sched: SlotScheduler) -> None:
+                self.sched = sched
+
+            def start(self, sim) -> None:
+                sim.schedule(1.0, lambda: self.on_done(3))
+
+            def on_done(self, node: int) -> None:
+                self.sched._free[node] = 1
+        """,
+        """
+        from repro.mapreduce.scheduler import SlotScheduler
+
+        class App:
+            def __init__(self, sched: SlotScheduler) -> None:
+                self.sched = sched
+
+            def start(self, sim) -> None:
+                sim.schedule(1.0, lambda: self.on_done(3))
+
+            def on_done(self, node: int) -> None:
+                self.sched.release(node)
+        """,
+    ),
+    Example(
+        "PIC704",
+        """
+        class Driver:
+            def kick(self, sim, handlers) -> None:
+                pending = set(handlers)
+                sim.schedule_batch(1.0, list(pending))
+        """,
+        """
+        class Driver:
+            def kick(self, sim, handlers) -> None:
+                pending = set(handlers)
+                sim.schedule_batch(1.0, sorted(pending))
+        """,
+    ),
 ]
 
 EXAMPLES: dict[str, Example] = {ex.rule_id: ex for ex in _EXAMPLES}

@@ -139,7 +139,9 @@ _FLOW_BATCH = frozenset({"transfer_batch", "start_flows"})
 _FLOW_KW_ONLY = frozenset({"write", "read"})
 #: Event/slot registration primitives: callbacks become *event
 #: handlers* (PIC402 seeds).
-_HANDLER_REGISTRARS = frozenset({"schedule", "schedule_at", "call_later", "request"})
+_HANDLER_REGISTRARS = frozenset(
+    {"schedule", "schedule_at", "schedule_serialized", "call_later", "request"}
+)
 
 
 @dataclass
@@ -760,6 +762,7 @@ class ProjectAnalysis:
         self._bound: dict[str, dict[str, set]] = {}
         self._typestate: Any = None
         self._units: Any = None
+        self._interference: Any = None
         self._converge()
 
     def typestate(self) -> Any:
@@ -777,6 +780,14 @@ class ProjectAnalysis:
 
             self._units = UnitAnalysis(self)
         return self._units
+
+    def interference(self) -> Any:
+        """Lazily-run concurrency-interference analysis (PIC7xx rules)."""
+        if self._interference is None:
+            from repro.lint.project.interference import InterferenceAnalysis
+
+            self._interference = InterferenceAnalysis(self)
+        return self._interference
 
     def bound_callbacks(self, cfq: str, attr: str) -> list[str]:
         """Functions bound to ``cfq(attr=...)`` at any constructor site."""

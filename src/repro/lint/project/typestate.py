@@ -53,6 +53,11 @@ from typing import TYPE_CHECKING, Any, Iterable
 if TYPE_CHECKING:
     from repro.lint.project.analysis import ProjectAnalysis
 
+#: Bump when this pass's logic changes what it reports from unchanged
+#: IR — folded into the incremental-cache salt so warm runs never mix
+#: old pass output with new pass code.
+TYPESTATE_PASS_VERSION = 1
+
 # ----------------------------------------------------------------------
 # Protocol knowledge
 

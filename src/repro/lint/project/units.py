@@ -47,6 +47,10 @@ from repro.lint.project.graph import SUBSTRATE_NAMES
 if TYPE_CHECKING:
     from repro.lint.project.analysis import ProjectAnalysis
 
+#: Bump when this pass's logic changes what it reports from unchanged
+#: IR (see the cache-salt note in repro.lint.cache).
+UNITS_PASS_VERSION = 1
+
 WALL_S = "wall_s"
 SIM_S = "sim_s"
 SIM_B = "sim_b"

@@ -8,7 +8,8 @@ Each rule family maps to one simulator invariant (see DESIGN.md §7/§9):
 * ``PIC3xx`` — cross-partition aliasing (whole-program);
 * ``PIC4xx`` — simulation integrity (whole-program);
 * ``PIC5xx`` — resource lifecycle typestate (whole-program);
-* ``PIC6xx`` — quantity-unit taint (whole-program).
+* ``PIC6xx`` — quantity-unit taint (whole-program);
+* ``PIC7xx`` — concurrency interference (whole-program).
 
 Per-file rules subclass :class:`Rule` and see one :class:`LintModule`
 at a time.  Whole-program rules subclass :class:`ProjectRule` and see
@@ -73,6 +74,12 @@ def all_rules() -> list[Rule]:
         ResourceLeakRule,
         UseAfterReleaseRule,
     )
+    from repro.lint.rules.concurrency import (
+        AggregateBypassRule,
+        CrossJobWriteRule,
+        TieOrderConflictRule,
+        UnorderedScheduleRule,
+    )
     from repro.lint.rules.purity import CallbackPurityRule, TaskSpecPicklabilityRule
     from repro.lint.rules.simulation import (
         ReentrantHandlerMutationRule,
@@ -100,6 +107,10 @@ def all_rules() -> list[Rule]:
         UseAfterReleaseRule(),
         UnitMixRule(),
         SimSinkTaintRule(),
+        CrossJobWriteRule(),
+        TieOrderConflictRule(),
+        AggregateBypassRule(),
+        UnorderedScheduleRule(),
     ]
     return sorted(rules, key=lambda r: r.rule_id)
 
@@ -113,6 +124,7 @@ FAMILIES = {
     "PIC4": "simulation integrity",
     "PIC5": "resource lifecycle typestate",
     "PIC6": "quantity-unit taint",
+    "PIC7": "concurrency interference",
 }
 
 

@@ -12,6 +12,21 @@ from repro.lint.rules import all_rules
 SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 SARIF_VERSION = "2.1.0"
 
+#: Families whose findings are correctness-critical, not stylistic:
+#: resource-lifecycle bugs (PIC5xx) crash or leak at runtime, and
+#: concurrency interference (PIC7xx) silently changes results with the
+#: schedule.  Everything else ships as a warning.
+ERROR_FAMILIES = frozenset({"PIC5", "PIC7"})
+
+#: GitHub code-scanning ``security-severity`` scores per family level
+#: (>= 7.0 renders "high", 4.0–6.9 "medium").
+_SEVERITY_SCORE = {"error": "7.5", "warning": "5.0"}
+
+
+def severity_level(rule_id: str) -> str:
+    """SARIF ``level`` for a rule: family-consistent error/warning."""
+    return "error" if rule_id[:4] in ERROR_FAMILIES else "warning"
+
 
 def _uri(path: str) -> str:
     return Path(path).as_posix()
@@ -19,18 +34,24 @@ def _uri(path: str) -> str:
 
 def to_sarif(findings: Sequence[Finding], errors: Sequence[str]) -> dict:
     """The full SARIF log object for one run."""
-    rules = [
-        {
-            "id": rule.rule_id,
-            "shortDescription": {"text": rule.summary},
-            "defaultConfiguration": {"level": "warning"},
-        }
-        for rule in all_rules()
-    ]
+    rules = []
+    for rule in all_rules():
+        level = severity_level(rule.rule_id)
+        rules.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": level},
+                "properties": {
+                    "problem.severity": level,
+                    "security-severity": _SEVERITY_SCORE[level],
+                },
+            }
+        )
     results = [
         {
             "ruleId": f.rule,
-            "level": "warning",
+            "level": severity_level(f.rule),
             "message": {"text": f.message},
             "locations": [
                 {

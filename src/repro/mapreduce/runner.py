@@ -86,9 +86,17 @@ class JobRunner:
         self._reduce_capacity = {
             n.node_id: n.spec.reduce_slots for n in cluster.nodes
         }
-        # Reduce tasks are pinned to a node; parked retries wait here so
-        # a release by *any* job wakes the oldest waiter on that node.
-        self._reduce_waiters: dict[int, list[Callable[[], None]]] = {}
+        # Reduce tasks are pinned to a node; pending acquisitions park
+        # here keyed by (app_id, partition) so a release by *any* job
+        # wakes waiters in canonical order — not arrival order, which
+        # would leak same-timestamp tie order into the schedule.
+        self._reduce_waiters: dict[
+            int, list[tuple[tuple[int, int], Callable[[], None]]]
+        ] = {}
+        # Serialization point for reduce-slot matching (cf.
+        # SlotScheduler._flush): one pending resolve per timestamp.
+        self._reduce_resolve_pending = False
+        self._reduce_resolving = False
         self._job_seq = itertools.count()
 
     def run(
@@ -209,14 +217,23 @@ class JobRunner:
         self.cluster.run()
         return [handle.result() for handle in handles]
 
-    # -- reduce slot management (pinned to a node, FIFO waves) ----------
+    # -- reduce slot management (pinned to a node, serialized) ----------
 
-    def try_acquire_reduce(self, node_id: int, app_id: int = 0) -> bool:
-        """Claim a reduce slot on ``node_id`` if one is free."""
-        if self._reduce_capacity[node_id] > 0:
-            self._reduce_capacity[node_id] -= 1
-            return True
-        return False
+    def acquire_reduce(
+        self,
+        node_id: int,
+        key: tuple[int, int],
+        grant: Callable[[], None],
+    ) -> None:
+        """Queue a reduce-slot acquisition pinned to ``node_id``.
+
+        ``grant()`` fires at the timestamp's serialization point once a
+        slot is free; among same-node waiters the lowest
+        ``key=(app_id, partition)`` wins, so the grant order is a pure
+        function of cluster state, never of same-instant arrival order.
+        """
+        self._reduce_waiters.setdefault(node_id, []).append((key, grant))
+        self._flush_reduce()
 
     def release_reduce(self, node_id: int, app_id: int = 0) -> None:
         """Return a reduce slot on ``node_id``."""
@@ -224,16 +241,53 @@ class JobRunner:
         if self._reduce_capacity[node_id] >= limit:
             raise RuntimeError(f"reduce slot over-release on node {node_id}")
         self._reduce_capacity[node_id] += 1
-        self._notify_reduce_waiter(node_id)
+        self._flush_reduce()
 
-    def wait_for_reduce(self, node_id: int, retry: Callable[[], None]) -> None:
-        """Park ``retry`` until a reduce slot on ``node_id`` frees."""
-        self._reduce_waiters.setdefault(node_id, []).append(retry)
+    def _claim_reduce_slot(self, node_id: int, app_id: int) -> bool:
+        """Claim one reduce slot on ``node_id`` now, if one is free."""
+        if self._reduce_capacity[node_id] <= 0:
+            return False
+        self._reduce_capacity[node_id] -= 1
+        return True
 
-    def _notify_reduce_waiter(self, node_id: int) -> None:
-        waiters = self._reduce_waiters.get(node_id)
-        if waiters:
-            waiters.pop(0)()
+    def _flush_reduce(self) -> None:
+        """Resolve now (root context) or at the serialization point."""
+        if self._reduce_resolving:
+            return  # the active resolve pass loops until quiescent
+        sim = self.cluster.sim
+        if sim.in_callback:
+            if not self._reduce_resolve_pending:
+                self._reduce_resolve_pending = True
+                sim.schedule_serialized(self._resolve_reduce_point)
+        else:
+            self._resolve_reduce()
+
+    def _resolve_reduce_point(self) -> None:
+        self._reduce_resolve_pending = False
+        self._resolve_reduce()
+
+    def _resolve_reduce(self) -> None:
+        """Match free reduce slots to waiters in canonical order."""
+        self._reduce_resolving = True
+        try:
+            progressed = True
+            while progressed:
+                progressed = False
+                for node_id in sorted(self._reduce_waiters):
+                    waiters = self._reduce_waiters[node_id]
+                    while waiters:
+                        i = min(
+                            range(len(waiters)),
+                            key=lambda j: waiters[j][0],
+                        )
+                        key, grant = waiters[i]
+                        if not self._claim_reduce_slot(node_id, key[0]):
+                            break
+                        waiters.pop(i)
+                        grant()
+                        progressed = True
+        finally:
+            self._reduce_resolving = False
 
 
 class JobHandle:
@@ -319,7 +373,10 @@ class _JobState:
         self._reduce_started = [False] * self.num_reducers
         self._reduce_waiting: list[int] = []
         self._reduce_outputs: dict[int, list[tuple[Any, Any]]] = {}
-        self._output_files: list[tuple[int, ...]] = []
+        # Keyed by partition, not appended in completion order: which
+        # reduce finishes first is same-timestamp tie order, and the
+        # next iteration's model placement must not depend on it.
+        self._output_files: dict[int, tuple[int, ...]] = {}
         self.map_output_bytes_raw = 0
         self.shuffle_bytes = 0
         self.output_bytes = 0
@@ -724,18 +781,21 @@ class _JobState:
     # -- reduce task --------------------------------------------------------
 
     def _maybe_start_reduce(self, partition: int) -> None:
-        if self._reduce_started[partition]:
+        if self._reduce_started[partition] or partition in self._reduce_waiting:
             return
         if self._bucket_arrivals[partition] < self.num_maps:
             return
+        self._reduce_waiting.append(partition)
+        self.runner.acquire_reduce(
+            self.reduce_node[partition],
+            key=(self.job_index, partition),
+            grant=lambda: self._start_reduce(partition),
+        )
+
+    def _start_reduce(self, partition: int) -> None:
+        """A reduce slot was granted at the serialization point."""
+        self._reduce_waiting.remove(partition)
         node = self.reduce_node[partition]
-        if not self.runner.try_acquire_reduce(node, app_id=self.job_index):
-            if partition not in self._reduce_waiting:
-                self._reduce_waiting.append(partition)
-                self.runner.wait_for_reduce(
-                    node, lambda: self._retry_reduce(partition)
-                )
-            return
         self._reduce_started[partition] = True
         # Canonical merge order: by map index, like the sorted runs of
         # a merge sort — arrival timing must not leak into float
@@ -758,11 +818,6 @@ class _JobState:
         self.cluster.sim.schedule(
             delay, lambda: self._reduce_execute(partition, node, pieces)
         )
-
-    def _retry_reduce(self, partition: int) -> None:
-        """A reduce slot on this partition's node freed; try again."""
-        self._reduce_waiting.remove(partition)
-        self._maybe_start_reduce(partition)
 
     def _group_reduce_input(
         self, pieces: list[Any]
@@ -817,7 +872,7 @@ class _JobState:
             replicas.update(block.replicas)
         if not meta.blocks:
             replicas.add(node_id)
-        self._output_files.append(tuple(sorted(replicas)))
+        self._output_files[partition] = tuple(sorted(replicas))
         self.runner.release_reduce(node_id, app_id=self.job_index)
         self._reduces_done += 1
         if self._reduces_done == self.num_reducers:
@@ -866,10 +921,16 @@ class _JobState:
             output_bytes=self.output_bytes,
             # Where the next iteration reads the model from: the output
             # is striped over per-reducer files, but any reader needs all
-            # of it, so the first file's replica set (~replication nodes)
-            # is the honest "closest copy" approximation — not the union
-            # of every reducer's replicas, which would make model reads
-            # free on small clusters.
-            output_locations=self._output_files[0] if self._output_files else (0,),
+            # of it, so the lowest partition's replica set (~replication
+            # nodes) is the honest "closest copy" approximation — not the
+            # union of every reducer's replicas, which would make model
+            # reads free on small clusters.  Lowest *partition*, not
+            # first *finished*: completion order between same-timestamp
+            # reduces is tie order the result must not depend on.
+            output_locations=(
+                self._output_files[min(self._output_files)]
+                if self._output_files
+                else (0,)
+            ),
             map_stats=self._job_map_stats,
         )

@@ -12,6 +12,18 @@ Concurrent jobs share the scheduler: requests carry an ``app_id``, and
 within each locality tier the request from the job holding the fewest
 slots wins (FIFO breaks ties).  A single job's schedule is therefore
 exactly the historical FIFO order.
+
+Matching runs at a **serialization point**: requests and releases made
+from inside simulation events only mutate the queue and the free-slot
+map, and one deferred :meth:`~repro.cluster.events.Simulation.\
+schedule_serialized` pass per timestamp performs the matching over the
+complete state.  Which of two same-instant events (a release and a
+request, say) happens to run first therefore cannot change any
+assignment — the invariant the ``PIC_SANITIZE`` schedule sanitizer
+checks and the PIC703 lint rule guards statically.  Calls from outside
+any event (driver/submission code, unit tests) are served
+synchronously; root-context program order is part of the canonical
+order.
 """
 
 from __future__ import annotations
@@ -52,6 +64,10 @@ class SlotScheduler:
         # Outstanding slot count per job, for least-granted interleaving
         # of concurrent submissions.
         self._outstanding: dict[int, int] = {}
+        # Serialization point: one pending serve event per timestamp;
+        # _serving suppresses reentrant flushes from grant callbacks.
+        self._serve_pending = False
+        self._serving = False
         # Statistics for locality reporting.
         self.assignments_local = 0
         self.assignments_rack = 0
@@ -76,9 +92,9 @@ class SlotScheduler:
     ) -> None:
         """Ask for a slot; ``callback(node_id)`` fires when one is granted.
 
-        Grants happen synchronously when a slot is free (the caller is
-        expected to be inside a simulation event), otherwise the request
-        queues until a release.
+        Inside a simulation event the grant is deferred to the
+        timestamp's serialization point; from root context (no event
+        executing) a free slot is granted synchronously.
         """
         racks = frozenset(
             self.cluster.topology.nodes[n].rack_id for n in preferred
@@ -90,23 +106,78 @@ class SlotScheduler:
             preferred_racks=racks,
             app_id=app_id,
         )
-        node = self._pick_node_for(req)
-        if node is None:
-            self._queue.append(req)
-            return
-        self._grant(req, node)
+        self._queue.append(req)
+        self._flush()
 
     def release(self, node_id: int, app_id: int = 0) -> None:
-        """Return a slot on ``node_id`` and serve the best queued request."""
+        """Return a slot on ``node_id``; queued requests are served at
+        the timestamp's serialization point."""
         if self._free[node_id] >= self._capacity[node_id]:
             raise RuntimeError(
                 f"slot over-release on node {node_id} ({self.kind} scheduler)"
             )
         self._free[node_id] += 1
         self._outstanding[app_id] = self._outstanding.get(app_id, 0) - 1
-        self._serve_queue(node_id)
+        self._flush()
 
     # -- internals -------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Serve now (root context) or at the serialization point."""
+        if self._serving:
+            return  # the active serve pass loops until quiescent
+        sim = self.cluster.sim
+        if sim.in_callback:
+            if not self._serve_pending:
+                self._serve_pending = True
+                sim.schedule_serialized(self._serve_point)
+        else:
+            self._serve()
+
+    def _serve_point(self) -> None:
+        self._serve_pending = False
+        self._serve()
+
+    def _serve(self) -> None:
+        """Canonical greedy matching over the complete queue/slot state.
+
+        Repeatedly pick the best (request, node) pair — locality tier
+        first (node-local > rack-local > any), least-granted app within
+        the tier, FIFO ties, most-free-then-lowest node id — and grant
+        it.  The loop re-examines state after every grant, so requests
+        enqueued by grant callbacks at the same instant are matched in
+        the same pass.
+        """
+        self._serving = True
+        try:
+            while self._queue:
+                req = self._next_grant()
+                if req is None:
+                    break
+                node = self._pick_node_for(req)
+                assert node is not None  # _next_grant saw a free node
+                self._queue.remove(req)
+                self._grant(req, node)
+        finally:
+            self._serving = False
+
+    def _next_grant(self) -> _Request | None:
+        """The queued request to serve next, or None when nothing fits."""
+        free = [n for n, k in self._free.items() if k > 0]
+        if not free:
+            return None
+        free_set = frozenset(free)
+        topo = self.cluster.topology
+        free_racks = frozenset(topo.nodes[n].rack_id for n in free)
+        pool = [r for r in self._queue if free_set.intersection(r.preferred)]
+        if not pool:
+            pool = [
+                r for r in self._queue
+                if free_racks.intersection(r.preferred_racks)
+            ]
+        if not pool:
+            pool = self._queue
+        return self._least_granted(pool)
 
     def _pick_node_for(self, req: _Request) -> int | None:
         """Choose a free node for a fresh request: local > rack > any."""
@@ -128,30 +199,11 @@ class SlotScheduler:
         """Most free slots first; node id breaks ties deterministically."""
         return min(nodes, key=lambda n: (-self._free[n], n))
 
-    def _serve_queue(self, node_id: int) -> None:
-        if not self._queue or self._free[node_id] <= 0:
-            return
-        rack = self.cluster.topology.nodes[node_id].rack_id
-        chosen = self._least_granted(lambda req: node_id in req.preferred)
-        if chosen is None:
-            chosen = self._least_granted(
-                lambda req: rack in req.preferred_racks
-            )
-        if chosen is None:
-            chosen = self._least_granted(lambda req: True)
-        assert chosen is not None  # queue is non-empty
-        self._queue.remove(chosen)
-        self._grant(chosen, node_id)
-
-    def _least_granted(
-        self, want: Callable[[_Request], bool]
-    ) -> _Request | None:
+    def _least_granted(self, pool: list[_Request]) -> _Request | None:
         """Least-granted-job request in one locality tier, FIFO ties."""
         best: _Request | None = None
         best_held = 0
-        for req in self._queue:
-            if not want(req):
-                continue
+        for req in pool:
             held = self._outstanding.get(req.app_id, 0)
             if best is None or held < best_held:
                 best = req

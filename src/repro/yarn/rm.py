@@ -12,6 +12,12 @@ belonging to the application holding the fewest containers wins
 (within each locality tier, ties broken FIFO).  With a single
 application the least-granted rule is vacuous and the schedule is
 exactly the historical FIFO-with-locality order.
+
+Like :class:`~repro.mapreduce.scheduler.SlotScheduler`, grant matching
+runs at a per-timestamp serialization point when requests/releases come
+from inside simulation events, so container placement is independent of
+same-instant event tie order; root-context calls are served
+synchronously.
 """
 
 from __future__ import annotations
@@ -71,6 +77,10 @@ class ResourceManager:
         # Outstanding container count per application, for least-granted
         # interleaving of concurrent apps.
         self._outstanding: dict[int, int] = {}
+        # Serialization point: one pending serve event per timestamp;
+        # _serving suppresses reentrant flushes from grant callbacks.
+        self._serve_pending = False
+        self._serving = False
 
     # -- queries ----------------------------------------------------------
 
@@ -118,11 +128,8 @@ class ResourceManager:
             callback=callback,
             app_id=app_id,
         )
-        node = self._pick_node(req)
-        if node is None:
-            self._queue.append(req)
-            return
-        self._grant(req, node)
+        self._queue.append(req)
+        self._flush()
 
     def try_allocate_on(
         self, node_id: int, resource: Resource, app_id: int = 0
@@ -150,7 +157,7 @@ class ResourceManager:
             )
         self._available[container.node_id] = new_avail
         self._outstanding[container.app_id] -= 1
-        self._serve_queue(container.node_id)
+        self._flush()
 
     def outstanding(self, app_id: int) -> int:
         """Containers currently held by ``app_id``."""
@@ -179,38 +186,68 @@ class ResourceManager:
         """Most available memory first; node id breaks ties."""
         return min(nodes, key=lambda n: (-self._available[n].memory_mb, n))
 
-    def _serve_queue(self, node_id: int) -> None:
-        # Serve every queued request that now fits on the releasing
-        # node.  Within each locality tier the least-granted app wins;
-        # queue position (FIFO) breaks ties, so a single app sees the
-        # historical FIFO-with-locality order unchanged.
-        while True:
-            rack = self.cluster.topology.nodes[node_id].rack_id
-            chosen = self._best_fitting(
-                node_id, lambda req: node_id in req.preferred
-            )
-            if chosen is None:
-                chosen = self._best_fitting(
-                    node_id, lambda req: rack in req.preferred_racks
-                )
-            if chosen is None:
-                chosen = self._best_fitting(node_id, lambda req: True)
-            if chosen is None:
-                return
-            self._queue.remove(chosen)
-            self._grant(chosen, node_id)
+    def _flush(self) -> None:
+        """Serve now (root context) or at the serialization point."""
+        if self._serving:
+            return  # the active serve pass loops until quiescent
+        sim = self.cluster.sim
+        if sim.in_callback:
+            if not self._serve_pending:
+                self._serve_pending = True
+                sim.schedule_serialized(self._serve_point)
+        else:
+            self._serve()
 
-    def _best_fitting(
-        self, node_id: int, want: Callable[[ContainerRequest], bool]
-    ) -> ContainerRequest | None:
-        """Least-granted-app request in one locality tier, FIFO ties."""
+    def _serve_point(self) -> None:
+        self._serve_pending = False
+        self._serve()
+
+    def _serve(self) -> None:
+        # Canonical greedy matching over the complete queue/capacity
+        # state: locality tier first, least-granted app within the
+        # tier, FIFO ties, roomiest node.  Runs once per timestamp, so
+        # placement never depends on same-instant event tie order.
+        self._serving = True
+        try:
+            while self._queue:
+                req = self._next_grant()
+                if req is None:
+                    return
+                node = self._pick_node(req)
+                assert node is not None  # _next_grant saw a fitting node
+                self._queue.remove(req)
+                self._grant(req, node)
+        finally:
+            self._serving = False
+
+    def _next_grant(self) -> ContainerRequest | None:
+        """The queued request to serve next, or None when nothing fits."""
+
+        def fits_on(req: ContainerRequest, node_id: int) -> bool:
+            return req.resource.fits_in(self._available[node_id])
+
+        fitting = [
+            r for r in self._queue
+            if any(fits_on(r, n) for n in self._available)
+        ]
+        if not fitting:
+            return None
+        topo = self.cluster.topology
+        pool = [r for r in fitting if any(fits_on(r, n) for n in r.preferred)]
+        if not pool:
+            pool = [
+                r for r in fitting
+                if any(
+                    fits_on(r, n)
+                    for n in self._available
+                    if topo.nodes[n].rack_id in r.preferred_racks
+                )
+            ]
+        if not pool:
+            pool = fitting
         best: ContainerRequest | None = None
         best_held = 0
-        for req in self._queue:
-            if not req.resource.fits_in(self._available[node_id]):
-                continue
-            if not want(req):
-                continue
+        for req in pool:
             held = self._outstanding.get(req.app_id, 0)
             if best is None or held < best_held:
                 best = req

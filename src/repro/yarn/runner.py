@@ -128,7 +128,7 @@ class YarnJobRunner(JobRunner):
         self.map_scheduler = _ContainerSlotAdapter(self.rm, map_profile)
         self._reduce_containers: dict[int, list[Container]] = {}
 
-    def try_acquire_reduce(self, node_id: int, app_id: int = 0) -> bool:
+    def _claim_reduce_slot(self, node_id: int, app_id: int) -> bool:
         """Pin a reduce container on ``node_id`` if it fits now."""
         container = self.rm.try_allocate_on(
             node_id, self.reduce_profile, app_id=app_id
@@ -146,7 +146,7 @@ class YarnJobRunner(JobRunner):
         for i, container in enumerate(held):
             if container.app_id == app_id:
                 self.rm.release(held.pop(i))
-                self._notify_reduce_waiter(node_id)
+                self._flush_reduce()
                 return
         raise RuntimeError(
             f"no reduce container of app {app_id} held on node {node_id}"

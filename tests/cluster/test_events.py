@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.cluster.events import Simulation
+from repro.cluster.events import Simulation, sanitize_seed_from_env
 
 
 class TestScheduling:
@@ -185,6 +185,258 @@ class TestHeapHygiene:
         assert order == [i for _, _, i in sorted(live)]
         assert sim.events_processed == len(live)
         assert sim.events_cancelled == len(plan) - len(live)
+
+
+class TestCancellationChurn:
+    """Cancellation-heavy multi-job patterns: compaction may rebind the
+    heap mid-run, and must stay invisible to everything above it."""
+
+    def test_compaction_mid_run_until_does_not_lose_events(self):
+        # Directed regression: a callback cancels enough events to
+        # trigger _compact() (which rebuilds self._queue) and then
+        # schedules new work inside the run_until window.  A stale
+        # local binding of the heap would silently drop that work.
+        sim = Simulation()
+        seen = []
+        victims = [sim.schedule(5.0, lambda: seen.append("victim"))
+                   for _ in range(100)]
+
+        def churn():
+            for event in victims:
+                event.cancel()
+            sim.schedule(1.0, lambda: seen.append("after"))
+
+        sim.schedule(1.0, churn)
+        sim.schedule(9.0, lambda: seen.append("tail"))
+        sim.run_until(10.0)
+        assert seen == ["after", "tail"]
+        assert sim.events_processed == 3
+        assert sim.events_cancelled == 100
+        assert sim._dead == 0
+
+    def test_replan_churn_keeps_counters_consistent(self):
+        # The flow-network pattern across many jobs: every arrival
+        # cancels the standing completion timer and schedules a fresh
+        # one, so cancellations far outnumber executions and compaction
+        # fires repeatedly mid-run.
+        sim = Simulation()
+        jobs = 8
+        arrivals = 40
+        completed = []
+        timers = {j: None for j in range(jobs)}
+        scheduled = 0
+
+        def make_arrival(j, i):
+            def arrive():
+                nonlocal scheduled
+                if timers[j] is not None:
+                    timers[j].cancel()
+                timers[j] = sim.schedule(
+                    1000.0 - i, lambda: completed.append(j)
+                )
+                scheduled += 1
+            return arrive
+
+        for j in range(jobs):
+            for i in range(arrivals):
+                sim.schedule(1.0 + i, make_arrival(j, i))
+                scheduled += 1
+        sim.run()
+        # Exactly one completion per job survives the churn.
+        assert sorted(completed) == list(range(jobs))
+        assert sim.events_processed + sim.events_cancelled == scheduled
+        assert sim.events_cancelled == jobs * (arrivals - 1)
+        assert sim._dead == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_in_callback_cancellation_matches_model(self, plan):
+        """Events cancelled *from inside callbacks* — possibly compacting
+        while the loop is mid-pop — never change what else runs."""
+        sim = Simulation()
+        order = []
+        events = []
+
+        def make(i, kill):
+            def fire():
+                order.append(i)
+                for k in range(kill):
+                    victim = i * 4 + k + 1
+                    if victim < len(events):
+                        events[victim].cancel()
+            return fire
+
+        for i, (delay, kill) in enumerate(plan):
+            events.append(sim.schedule(delay, make(i, kill)))
+        sim.run()
+        # Replay against a pure-python model of (time, seq) order with
+        # the same cancellation side effects.
+        model_order = []
+        cancelled = set()
+        pending = sorted(
+            range(len(plan)), key=lambda i: (plan[i][0], i)
+        )
+        for i in pending:
+            if i in cancelled:
+                continue
+            model_order.append(i)
+            for k in range(plan[i][1]):
+                victim = i * 4 + k + 1
+                if victim < len(plan):
+                    cancelled.add(victim)
+        assert order == model_order
+
+
+class TestSanitizedTies:
+    """PIC_SANITIZE permutes only causally unrelated same-timestamp
+    ties; program order, submission order and batch order survive."""
+
+    SEEDS = range(1, 21)
+
+    def test_seed_comes_from_env_at_construction(self, monkeypatch):
+        monkeypatch.setenv("PIC_SANITIZE", "42")
+        assert sanitize_seed_from_env() == 42
+        assert Simulation().tie_seed == 42
+        monkeypatch.setenv("PIC_SANITIZE", "  ")
+        assert sanitize_seed_from_env() is None
+        assert Simulation().tie_seed is None
+        monkeypatch.setenv("PIC_SANITIZE", "7")
+        assert Simulation(tie_seed=3).tie_seed == 3
+
+    def test_root_submission_order_is_preserved(self):
+        # All root-context events share one parent, so their program
+        # order is part of the sanitizer's equivalence class.
+        for seed in self.SEEDS:
+            sim = Simulation(tie_seed=seed)
+            order = []
+            for name in "abcdef":
+                sim.schedule(1.0, lambda n=name: order.append(n))
+            sim.run()
+            assert order == list("abcdef"), f"seed {seed}"
+
+    def test_same_parent_events_keep_program_order(self):
+        for seed in self.SEEDS:
+            sim = Simulation(tie_seed=seed)
+            order = []
+
+            def parent():
+                for name in "xyz":
+                    sim.schedule(1.0, lambda n=name: order.append(n))
+
+            sim.schedule(1.0, parent)
+            sim.run()
+            assert order == ["x", "y", "z"], f"seed {seed}"
+
+    def test_cross_parent_ties_permute_with_the_seed(self):
+        # Followers of two different parents land at one timestamp;
+        # across seeds both interleavings must occur, and within each
+        # parent the pair stays in program order.
+        orders = set()
+        for seed in self.SEEDS:
+            sim = Simulation(tie_seed=seed)
+            order = []
+
+            def make_parent(tag):
+                def parent():
+                    sim.schedule(1.0, lambda: order.append(tag + "1"))
+                    sim.schedule(1.0, lambda: order.append(tag + "2"))
+                return parent
+
+            sim.schedule(1.0, make_parent("a"))
+            sim.schedule(1.0, make_parent("b"))
+            sim.run()
+            assert order.index("a1") < order.index("a2"), f"seed {seed}"
+            assert order.index("b1") < order.index("b2"), f"seed {seed}"
+            orders.add(tuple(order))
+        assert len(orders) > 1
+        assert ("a1", "a2", "b1", "b2") in orders
+        assert any(o[0] == "b1" for o in sorted(orders))
+
+    def test_unseeded_ties_fall_back_to_insertion_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: order.append("a")))
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: order.append("b")))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_serialized_point_runs_after_normal_events_under_any_seed(self):
+        # Late events sort after every normal event at the instant even
+        # when the normal event was scheduled *afterwards*.
+        for seed in (None, *self.SEEDS):
+            sim = Simulation(tie_seed=seed)
+            order = []
+
+            def parent():
+                sim.schedule_serialized(lambda: order.append("late"))
+                sim.schedule(0.0, lambda: order.append("normal"))
+
+            sim.schedule(1.0, parent)
+            sim.run()
+            assert order == ["normal", "late"], f"seed {seed}"
+
+    def test_batch_internal_order_is_preserved_under_seeds(self):
+        for seed in self.SEEDS:
+            sim = Simulation(tie_seed=seed)
+            order = []
+            sim.schedule(1.0, lambda: sim.schedule_batch(
+                1.0, [lambda n=n: order.append(n) for n in range(5)]
+            ))
+            sim.run()
+            assert order == [0, 1, 2, 3, 4], f"seed {seed}"
+
+    def test_in_callback_reflects_dispatch_context(self):
+        sim = Simulation()
+        states = []
+        assert sim.in_callback is False
+        sim.schedule(1.0, lambda: states.append(sim.in_callback))
+        sim.run()
+        assert states == [True]
+        assert sim.in_callback is False
+
+    @given(
+        st.integers(min_value=1, max_value=2**32),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+    )
+    def test_seeding_is_a_pure_permutation(self, seed, plan):
+        """Every seed executes exactly the same events at the same
+        simulated times — only same-timestamp interleaving may differ."""
+
+        def run(tie_seed):
+            sim = Simulation(tie_seed=tie_seed)
+            trace = []
+
+            def make(i, extra):
+                def fire():
+                    trace.append((sim.now, i))
+                    sim.schedule(extra, lambda: trace.append((sim.now, ~i)))
+                return fire
+
+            for i, (delay, extra) in enumerate(plan):
+                sim.schedule(delay, make(i, extra))
+            sim.run()
+            return sim, trace
+
+        base_sim, base = run(None)
+        seeded_sim, seeded = run(seed)
+        assert sorted(base) == sorted(seeded)
+        assert seeded_sim.events_processed == base_sim.events_processed
+        assert [t for t, _ in seeded] == [t for t, _ in base]
 
 
 class TestBatchScheduling:

@@ -23,8 +23,11 @@ def mutated(path: Path, old: str, new: str) -> str:
 
 
 def project_rules(source: str) -> list[str]:
+    # Lint under a real module name (as on-disk runs do): the default
+    # "<memory>" path yields an anonymous module, which weakens
+    # intra-module annotation resolution for the interprocedural rules.
     return sorted(
-        {f.rule for f in lint_source(source) if f.rule[3] in "3456"}
+        {f.rule for f in lint_source(source, path="app.py") if f.rule[3] in "34567"}
     )
 
 
@@ -32,7 +35,7 @@ class TestRealTreeIsClean:
     @pytest.mark.parametrize("subtree", ["src", "benchmarks", "examples"])
     def test_no_whole_program_findings(self, subtree):
         run = run_lint([REPO / subtree])
-        offenders = [f for f in run.findings if f.rule[3] in "3456"]
+        offenders = [f for f in run.findings if f.rule[3] in "34567"]
         assert offenders == []
         assert run.errors == []
 
@@ -171,3 +174,66 @@ class TestSeededRegressions:
             "        self.cluster.sim.schedule(overhead, self._start_maps)",
         )
         assert "PIC602" in project_rules(source)
+
+    def test_runner_handler_writing_a_sibling_job_is_caught(self):
+        # A completion handler mirroring its progress into a *peer*
+        # job's state: whichever job's handler runs last at the shared
+        # timestamp wins, so the peer's view depends on tie order.
+        source = mutated(
+            REPO / "src/repro/mapreduce/runner.py",
+            "    def _kill_attempt(self, attempt: dict) -> None:",
+            '    def _mirror_peer(self, peer: "_JobState") -> None:\n'
+            "        peer._maps_done = self._maps_done\n"
+            "\n"
+            "    def _kill_attempt(self, attempt: dict) -> None:",
+        )
+        source = source.replace(
+            "        self._maps_done += 1",
+            "        self._maps_done += 1\n"
+            "        self._mirror_peer(self)",
+            1,
+        )
+        assert "PIC701" in project_rules(source)
+
+    def test_runner_unkeyed_cluster_scratch_field_is_caught(self):
+        # Two independently scheduled handler paths (the serialized
+        # reduce resolve and the reduce-finish chain) last-write-win a
+        # shared scalar on the cluster: classic tie-order interference.
+        source = mutated(
+            REPO / "src/repro/mapreduce/runner.py",
+            "    def _resolve_reduce_point(self) -> None:\n"
+            "        self._reduce_resolve_pending = False",
+            "    def _resolve_reduce_point(self) -> None:\n"
+            "        self.cluster.last_actor = self._reduce_resolve_pending\n"
+            "        self._reduce_resolve_pending = False",
+        )
+        source = source.replace(
+            "        self._reduce_capacity[node_id] += 1",
+            "        self.cluster.last_actor = node_id\n"
+            "        self._reduce_capacity[node_id] += 1",
+            1,
+        )
+        assert "PIC702" in project_rules(source)
+
+    def test_runner_poking_scheduler_free_list_is_caught(self):
+        # Handing a map slot back by writing the scheduler's free table
+        # directly skips its serialization point — queued requests on
+        # that node never get served.
+        source = mutated(
+            REPO / "src/repro/mapreduce/runner.py",
+            "                self.runner.map_scheduler.release(node_id, "
+            "app_id=self.job_index)",
+            "                self.runner.map_scheduler._free[node_id] = 1",
+        )
+        assert "PIC703" in project_rules(source)
+
+    def test_runner_shuffling_transfers_from_a_set_is_caught(self):
+        # Collecting the map wave's shuffle requests in a set hands
+        # transfer_batch an interpreter-hash-ordered iterable.
+        source = mutated(
+            REPO / "src/repro/mapreduce/runner.py",
+            "        requests = []",
+            "        requests = set()",
+        )
+        source = source.replace("requests.append((", "requests.add((", 1)
+        assert "PIC704" in project_rules(source)

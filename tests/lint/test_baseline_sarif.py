@@ -123,6 +123,33 @@ class TestSarif:
             _finding()
         )
 
+    def test_severity_mapping_is_family_consistent(self):
+        # PIC5xx (lifecycle) and PIC7xx (interference) are correctness
+        # errors; everything else ships as a warning.
+        log = to_sarif(
+            [
+                _finding(rule="PIC001"),
+                _finding(rule="PIC501"),
+                _finding(rule="PIC702"),
+            ],
+            [],
+        )
+        (run,) = log["runs"]
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels == {
+            "PIC001": "warning",
+            "PIC501": "error",
+            "PIC702": "error",
+        }
+        for rule in run["tool"]["driver"]["rules"]:
+            level = rule["defaultConfiguration"]["level"]
+            expected = "error" if rule["id"][:4] in ("PIC5", "PIC7") else "warning"
+            assert level == expected, rule["id"]
+            props = rule["properties"]
+            assert props["problem.severity"] == level
+            score = float(props["security-severity"])
+            assert (score >= 7.0) == (level == "error")
+
     def test_errors_become_tool_notifications(self):
         log = to_sarif([], ["src/bad.py: syntax error: invalid syntax (line 1)"])
         (run,) = log["runs"]

@@ -127,6 +127,22 @@ class TestInvalidation:
         monkeypatch.setattr(cache_mod, "IR_SCHEMA_VERSION", 1_000_000)
         assert cache_salt(["PIC001"]) != current
 
+    def test_salt_depends_on_pass_versions(self, monkeypatch):
+        # Bumping any whole-program pass version (typestate, units,
+        # interference) must invalidate caches written under the old
+        # pass logic.
+        import repro.lint.cache as cache_mod
+
+        current = cache_salt(["PIC001"])
+        for name in (
+            "TYPESTATE_PASS_VERSION",
+            "UNITS_PASS_VERSION",
+            "INTERFERENCE_PASS_VERSION",
+        ):
+            with monkeypatch.context() as m:
+                m.setattr(cache_mod, name, 1_000_000)
+                assert cache_salt(["PIC001"]) != current, name
+
     def test_project_rule_set_change_invalidates_the_cache(self, tree, tmp_path):
         # Whole-program rules don't cache findings, but dropping one
         # changes the salt: its noqa bookkeeping differs per rule set.
@@ -160,6 +176,35 @@ class TestInvalidation:
         warm = run_lint([tree], cache_path=cache)
         assert warm.stats["files_parsed"] == 0
         warm_rules = sorted(f.rule for f in warm.findings if f.path == str(leaky))
+        assert warm_rules == cold_rules
+
+    def test_interference_findings_reproduce_from_cached_ir(self, tree, tmp_path):
+        # PIC7xx runs from converged IR: a warm run parses nothing yet
+        # still reports the cross-job handler write.
+        cache = tmp_path / "cache.json"
+        racy = tree / "mod_racy.py"
+        racy.write_text(
+            "class _JobState:\n"
+            "    def __init__(self, app_id: int) -> None:\n"
+            "        self.app_id = app_id\n"
+            "        self.arrivals = 0\n"
+            "\n"
+            "\n"
+            "class Runner:\n"
+            "    def submit(self, sim, sibling: _JobState) -> None:\n"
+            "        sim.schedule(1.0, lambda: self._poke(sibling))\n"
+            "\n"
+            "    def _poke(self, sibling: _JobState) -> None:\n"
+            "        sibling.arrivals = sibling.arrivals + 1\n",
+            encoding="utf-8",
+        )
+        cold = run_lint([tree], cache_path=cache)
+        cold_rules = sorted(f.rule for f in cold.findings if f.path == str(racy))
+        assert "PIC701" in cold_rules
+
+        warm = run_lint([tree], cache_path=cache)
+        assert warm.stats["files_parsed"] == 0
+        warm_rules = sorted(f.rule for f in warm.findings if f.path == str(racy))
         assert warm_rules == cold_rules
 
     def test_corrupt_cache_file_is_ignored(self, tree, tmp_path):

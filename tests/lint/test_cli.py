@@ -134,6 +134,32 @@ class TestSelection:
             assert rule_id in out
 
 
+class TestExplain:
+    def test_explain_one_rule(self, capsys):
+        code, out, _ = run_cli(["--explain", "PIC702"], capsys)
+        assert code == 0
+        assert "PIC702" in out
+        assert "family: concurrency interference" in out
+        assert "bad (fires):" in out
+
+    def test_bare_explain_lists_every_rule_sorted(self, capsys):
+        from repro.lint.rules import all_rules
+
+        code, out, _ = run_cli(["--explain"], capsys)
+        assert code == 0
+        lines = [line for line in out.splitlines() if line.strip()]
+        ids = [line.split()[0] for line in lines]
+        assert ids == [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+        for rule in all_rules():
+            assert rule.summary in out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        code, _, err = run_cli(["--explain", "PIC999"], capsys)
+        assert code == 2
+        assert "unknown rule" in err
+
+
 class TestModuleEntryPoint:
     def _run(self, *args):
         env = dict(os.environ)
